@@ -1,0 +1,72 @@
+"""Figures 2-5: minimal-cut enumeration performance.
+
+Micro-benchmarks time one full cut enumeration per (algorithm, family) at
+a representative size; the series tests regenerate each figure's curves
+and assert the paper's shape claims.
+"""
+
+import pytest
+
+from repro.analysis.metrics import Metrics
+from repro.experiments import EXPERIMENTS
+from repro.partition import MinCutEager, MinCutLazy, MinCutOptimistic
+from repro.workloads import clique, random_connected_graph, wheel
+
+from benchmarks.conftest import print_result
+
+
+def enumerate_cuts(strategy, graph):
+    metrics = Metrics()
+    count = sum(1 for _ in strategy.partitions(graph, graph.all_vertices, metrics))
+    return count, metrics
+
+
+FAMILIES = {
+    "acyclic40": random_connected_graph(40, 0.0, 1),
+    "cyclic14": random_connected_graph(14, 0.4, 1),
+    "clique10": clique(10),
+    "wheel24": wheel(24),
+}
+
+
+def _strategy(name, family):
+    anchor = 1 if family.startswith("wheel") else None
+    return {
+        "eager": MinCutEager(anchor=anchor),
+        "lazy": MinCutLazy(anchor=anchor),
+        "optimistic": MinCutOptimistic(anchor=anchor),
+    }[name]
+
+
+@pytest.mark.parametrize("family", list(FAMILIES))
+@pytest.mark.parametrize("algorithm", ["eager", "lazy", "optimistic"])
+def test_mincut_benchmark(benchmark, algorithm, family):
+    graph = FAMILIES[family]
+    strategy = _strategy(algorithm, family)
+    count, _ = benchmark(lambda: enumerate_cuts(strategy, graph))
+    assert count > 0
+
+
+class TestSeries:
+    @pytest.mark.parametrize("figure", ["fig2", "fig3", "fig4", "fig5"])
+    def test_series(self, figure, scale):
+        result = EXPERIMENTS[figure](scale)
+        print_result(result)
+        assert result.rows
+
+    def test_fig2_shape_lazy_dominates_acyclic(self, scale):
+        result = EXPERIMENTS["fig2"](scale)
+        last = result.rows[-1]
+        assert last["lazy_trees"] == 1
+        assert last["lazy_ms"] < last["eager_ms"]
+
+    def test_fig4_shape_optimistic_wins_cliques(self, scale):
+        result = EXPERIMENTS["fig4"](scale)
+        last = result.rows[-1]
+        assert last["optimistic_ms"] < last["lazy_ms"]
+        assert last["lazy_trees"] >= 0.8 * last["eager_trees"]
+
+    def test_fig5_shape_optimistic_failures_grow(self, scale):
+        result = EXPERIMENTS["fig5"](scale)
+        ratios = [r["optimistic_failed"] / r["cuts"] for r in result.rows]
+        assert ratios[-1] > ratios[0] > 0

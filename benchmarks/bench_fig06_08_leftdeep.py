@@ -1,0 +1,48 @@
+"""Figures 6-8: exhaustive left-deep optimization, top-down vs bottom-up.
+
+The paper's claim: for CP-free left-deep plans the added value of optimal
+partitioning is negligible at practical query sizes — TLNMC, TLNnaive,
+and BLNsize stay within a modest constant of each other on chains, stars,
+and random cyclic queries.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.registry import make_optimizer
+from repro.workloads import chain, random_connected_graph, star
+from repro.workloads.weights import weighted_query
+
+from benchmarks.conftest import print_result
+
+QUERIES = {
+    "chain12": weighted_query(chain(12), 3),
+    "star10": weighted_query(star(10), 3),
+    "cyclic10": weighted_query(random_connected_graph(10, 0.4, 3), 3),
+}
+
+ALGORITHMS = ["TLNmc", "TLNnaive", "BLNsize"]
+
+
+@pytest.mark.parametrize("workload", list(QUERIES))
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_leftdeep_benchmark(benchmark, algorithm, workload):
+    query = QUERIES[workload]
+    plan = benchmark(lambda: make_optimizer(algorithm, query).optimize())
+    assert plan.cost > 0
+
+
+class TestSeries:
+    @pytest.mark.parametrize("figure", ["fig6", "fig7", "fig8"])
+    def test_series(self, figure, scale):
+        result = EXPERIMENTS[figure](scale)
+        print_result(result)
+        assert result.rows
+
+    @pytest.mark.parametrize("figure", ["fig6", "fig7", "fig8"])
+    def test_shape_modest_gaps(self, figure, scale):
+        """All three algorithms within a modest constant factor."""
+        result = EXPERIMENTS[figure](scale)
+        for row in result.rows:
+            assert row["TLNnaive_rel"] < 5
+            assert row["BLNsize_rel"] < 5

@@ -1,0 +1,55 @@
+"""Figures 9-12: exhaustive bushy optimization, top-down vs bottom-up.
+
+The paper's claims: each top-down algorithm exactly mirrors its bottom-up
+analogue (TBNnaive ≈ BBNnaive, TBNMC ≈ BBNccp); size-driven enumeration
+diverges on stars; on cliques everything is optimal and within ~10-15 %.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.registry import make_optimizer
+from repro.workloads import chain, clique, star
+from repro.workloads.weights import weighted_query
+
+from benchmarks.conftest import print_result
+
+QUERIES = {
+    "star10": weighted_query(star(10), 3),
+    "chain12": weighted_query(chain(12), 3),
+    "clique8": weighted_query(clique(8), 3),
+}
+
+ALGORITHMS = ["TBNmc", "TBNnaive", "BBNsize", "BBNnaive", "BBNccp", "TBNmcopt"]
+
+
+@pytest.mark.parametrize("workload", list(QUERIES))
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_bushy_benchmark(benchmark, algorithm, workload):
+    query = QUERIES[workload]
+    plan = benchmark(lambda: make_optimizer(algorithm, query).optimize())
+    assert plan.cost > 0
+
+
+class TestSeries:
+    @pytest.mark.parametrize("figure", ["fig9", "fig10", "fig11", "fig12"])
+    def test_series(self, figure, scale):
+        result = EXPERIMENTS[figure](scale)
+        print_result(result)
+        assert result.rows
+
+    def test_fig9_top_down_mirrors_bottom_up(self, scale):
+        """TBNMC ≈ BBNccp and TBNnaive ≈ BBNnaive on stars."""
+        result = EXPERIMENTS["fig9"](scale)
+        last = result.rows[-1]
+        assert 0.3 < last["BBNccp_rel"] < 3.0
+        if last["BBNnaive_rel"] is not None and last["TBNnaive_rel"] is not None:
+            ratio = last["TBNnaive_rel"] / last["BBNnaive_rel"]
+            assert 0.3 < ratio < 3.0
+
+    def test_fig11_cliques_all_close(self, scale):
+        """On cliques every algorithm is optimal: small spread."""
+        result = EXPERIMENTS["fig11"](scale)
+        last = result.rows[-1]
+        for column in ("TBNnaive_rel", "BBNnaive_rel", "BBNccp_rel"):
+            assert 0.3 < last[column] < 3.0

@@ -1,0 +1,45 @@
+"""Figures 13/14: branch-and-bound memo storage on star queries.
+
+The paper's claims: accumulated-cost bounding prunes stored *plans*
+hardest but stores lower bounds on top (total storage plateaus around
+an 80 % reduction); predicted-cost pruning is consistently weaker
+(~70 %); the combination adds nothing over A alone.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.registry import make_optimizer
+from repro.workloads import star
+from repro.workloads.weights import weighted_query
+
+from benchmarks.conftest import print_result
+
+
+@pytest.mark.parametrize("suffix", ["", "A", "P", "AP"])
+@pytest.mark.parametrize("base", ["TLNmc", "TBNmc"])
+def test_bounded_optimize_benchmark(benchmark, base, suffix):
+    query = weighted_query(star(10), 3)
+    plan = benchmark(lambda: make_optimizer(base + suffix, query).optimize())
+    assert plan.cost > 0
+
+
+class TestSeries:
+    @pytest.mark.parametrize("figure", ["fig13", "fig14"])
+    def test_series(self, figure, scale):
+        result = EXPERIMENTS[figure](scale)
+        print_result(result)
+        assert result.rows
+
+    @pytest.mark.parametrize("figure", ["fig13", "fig14"])
+    def test_shape(self, figure, scale):
+        result = EXPERIMENTS[figure](scale)
+        last = result.rows[-1]
+        # A prunes stored plans at least as hard as P.
+        assert last["A_p"] <= last["P_p"] + 0.05
+        # Lower bounds add storage back on top of A's plans.
+        assert last["A_p+lb"] >= last["A_p"]
+        # AP's plan storage matches A's (the combination adds nothing).
+        assert abs(last["AP_p"] - last["A_p"]) < 0.1
+        # Everything prunes relative to exhaustive.
+        assert last["A_p"] < 1.0 and last["P_p"] < 1.01

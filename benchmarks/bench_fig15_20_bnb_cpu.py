@@ -1,0 +1,61 @@
+"""Figures 15-20: branch-and-bound CPU time on star/chain/cyclic queries.
+
+The paper's headline surprise (Section 4.3.2): accumulated-cost bounding
+eventually has *devastating negative* effects on CPU time because budget
+threading makes the search re-enumerate memoized expressions, while
+predicted-cost bounding's savings track its storage pruning.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.registry import make_optimizer
+from repro.workloads import chain, random_connected_graph, star
+from repro.workloads.weights import weighted_query
+
+from benchmarks.conftest import print_result
+
+QUERIES = {
+    "star10": weighted_query(star(10), 5),
+    "chain12": weighted_query(chain(12), 5),
+    "cyclic10": weighted_query(random_connected_graph(10, 0.4, 5), 5),
+}
+
+
+@pytest.mark.parametrize("workload", list(QUERIES))
+@pytest.mark.parametrize("suffix", ["", "A", "P", "AP"])
+def test_bnb_cpu_benchmark(benchmark, suffix, workload):
+    query = QUERIES[workload]
+    plan = benchmark(lambda: make_optimizer("TBNmc" + suffix, query).optimize())
+    assert plan.cost > 0
+
+
+class TestSeries:
+    @pytest.mark.parametrize(
+        "figure", ["fig15", "fig16", "fig17", "fig18", "fig19", "fig20"]
+    )
+    def test_series(self, figure, scale):
+        result = EXPERIMENTS[figure](scale)
+        print_result(result)
+        assert result.rows
+
+    def test_fig16_accumulated_blowup_on_stars(self, scale):
+        """A's relative cost grows with n and exceeds 1 (bushy stars)."""
+        result = EXPERIMENTS["fig16"](scale)
+        rels = [row["A_rel"] for row in result.rows]
+        assert rels[-1] > rels[0]
+        assert rels[-1] > 1.0
+        # Re-expansions explain it.
+        reexp = [row["A_reexpansions"] for row in result.rows]
+        assert reexp[-1] > reexp[0] > 0
+
+    def test_fig16_predicted_never_hurts_much(self, scale):
+        result = EXPERIMENTS["fig16"](scale)
+        for row in result.rows:
+            assert row["P_rel"] < 1.3
+
+    def test_fig15_combination_tracks_accumulated(self, scale):
+        """AP is 'almost as bad as accumulated-cost bounding by itself'."""
+        result = EXPERIMENTS["fig15"](scale)
+        last = result.rows[-1]
+        assert last["AP_rel"] > last["P_rel"] * 0.5

@@ -1,0 +1,60 @@
+"""Figures 21-30: the CPU/storage trade-off of LRU-bounded memo tables.
+
+The paper's claims: shrinking the memo costs exponentially more CPU;
+predicted-cost bounding's edge over exhaustive shrinks with storage and
+plateaus below 10 %; accumulated-cost bounding improves steadily as
+storage shrinks (less interference with memoization) and dominates at
+0-1 % storage.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.memory import required_cells
+from repro.memo import MemoTable
+from repro.registry import make_optimizer
+from repro.workloads import star
+from repro.workloads.weights import weighted_query
+
+from benchmarks.conftest import print_result
+
+N = 8
+SEED = 31
+
+
+@pytest.mark.parametrize("threshold", [1.0, 0.25, 0.05, 0.0],
+                         ids=["100pct", "25pct", "5pct", "0pct"])
+@pytest.mark.parametrize("suffix", ["", "A", "P", "AP"])
+def test_memory_limited_benchmark(benchmark, suffix, threshold):
+    query = weighted_query(star(N), SEED)
+    capacity = round(threshold * required_cells(N, SEED))
+
+    def run():
+        memo = MemoTable(capacity=capacity)
+        return make_optimizer("TLNmc" + suffix, query, memo=memo).optimize()
+
+    plan = benchmark(run)
+    assert plan.cost > 0
+
+
+class TestSeries:
+    @pytest.mark.parametrize("figure", ["fig21-24", "fig25-30"])
+    def test_series(self, figure, scale):
+        result = EXPERIMENTS[figure](scale)
+        print_result(result)
+        assert result.rows
+
+    def test_storage_reduction_costs_cpu(self, scale):
+        result = EXPERIMENTS["fig21-24"](scale)
+        exhaustive = [r for r in result.rows if r["algorithm"] == "TLNmc"]
+        for row in exhaustive:
+            assert row["0%"] > row["100%"]
+            assert row["1%"] >= row["25%"] * 0.5  # monotone-ish growth
+
+    def test_zero_storage_accumulated_dominates(self, scale):
+        """Figure 30: with no memoization, A's pruning always wins."""
+        result = EXPERIMENTS["fig25-30"](scale)
+        zero_rows = [r for r in result.rows if r["threshold"] == "0%"]
+        last = max(zero_rows, key=lambda r: r["n"])
+        assert last["A_rel"] < last["P_rel"]
+        assert last["A_rel"] < 1.0

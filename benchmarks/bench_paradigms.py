@@ -1,0 +1,95 @@
+"""Section 2's taxonomy, head to head: one query, four paradigms.
+
+* bottom-up dynamic programming (DPccp — optimal),
+* top-down partitioning search with memoization (TBNMC — the paper),
+* top-down transformational search (Volcano/Cascades miniature),
+* prefix search (SQL Anywhere style, no memoization).
+
+Asserts the paper's comparative claims: all paradigms agree on the
+optimum; the transformational memo stores Θ(3^n) expressions against the
+Θ(2^n) cells of the DP/memoization approaches; transformational search
+pays duplicate-detection work the partitioning search never does; prefix
+search uses no memo at all but explores a factorially-shaped space.
+"""
+
+import pytest
+
+from repro.analysis.metrics import Metrics
+from repro.bottomup import DPccp
+from repro.enumerator import TopDownEnumerator
+from repro.partition import MinCutLazy
+from repro.prefix import PrefixSearchOptimizer
+from repro.transform import TransformationalOptimizer
+from repro.workloads import chain, random_connected_graph, star
+from repro.workloads.weights import weighted_query
+
+QUERY = weighted_query(random_connected_graph(9, 0.3, 11), 11)
+
+
+def run_paradigm(name: str, query):
+    if name == "bottom-up-dp":
+        optimizer = DPccp(query)
+        plan = optimizer.optimize()
+        return plan, len(optimizer.plans)
+    if name == "top-down-partitioning":
+        optimizer = TopDownEnumerator(query, MinCutLazy())
+        plan = optimizer.optimize()
+        return plan, optimizer.memo.populated_cells()
+    if name == "transformational":
+        optimizer = TransformationalOptimizer(query, cp_free=True)
+        plan = optimizer.optimize()
+        return plan, optimizer.expression_count()
+    if name == "prefix-search":
+        optimizer = PrefixSearchOptimizer(query)
+        plan = optimizer.optimize()
+        return plan, 0  # no memo at all
+    raise ValueError(name)
+
+
+PARADIGMS = ["bottom-up-dp", "top-down-partitioning", "transformational", "prefix-search"]
+
+
+@pytest.mark.parametrize("paradigm", PARADIGMS)
+def test_paradigm_benchmark(benchmark, paradigm):
+    plan, _ = benchmark(lambda: run_paradigm(paradigm, QUERY))
+    assert plan.cost > 0
+
+
+class TestComparativeClaims:
+    def test_bushy_optima_agree(self):
+        """DPccp, TBNMC, and transformational search share one optimum;
+        prefix search optimizes the smaller left-deep space."""
+        bushy = {run_paradigm(p, QUERY)[0].cost for p in PARADIGMS[:3]}
+        assert len({round(c, 6) for c in bushy}) == 1
+        left_deep = run_paradigm("prefix-search", QUERY)[0].cost
+        assert left_deep >= min(bushy) - 1e-9
+
+    def test_transformational_memory_blowup(self):
+        """Ω(3^n) stored expressions vs Ω(2^n) memo cells (with CPs)."""
+        query = weighted_query(chain(8), 3)
+        transformational = TransformationalOptimizer(query)
+        transformational.explore()
+        from repro.partition import NaiveBushyCP
+
+        partitioning = TopDownEnumerator(query, NaiveBushyCP())
+        partitioning.optimize()
+        assert (
+            transformational.expression_count()
+            > 10 * partitioning.memo.populated_cells()
+        )
+
+    def test_transformational_duplicate_work(self):
+        query = weighted_query(star(7), 3)
+        transformational = TransformationalOptimizer(query, cp_free=True)
+        transformational.explore()
+        metrics = Metrics()
+        partitioning = TopDownEnumerator(query, MinCutLazy(), metrics=metrics)
+        partitioning.optimize()
+        assert transformational.duplicates_detected > 0
+        assert metrics.expressions_reexpanded == 0
+
+    def test_prefix_search_has_no_memo(self):
+        optimizer = PrefixSearchOptimizer(QUERY)
+        optimizer.optimize()
+        assert not hasattr(optimizer, "memo")
+        assert optimizer.prefixes_explored > QUERY.n

@@ -1,0 +1,91 @@
+"""Table 2: absolute cost of enumerating the four search spaces, with
+predicted-cost pruning and the Section 5.2 two-phase strategies.
+
+The paper's claims: pruning is far more effective in spaces containing
+cartesian products; the exhaustive two-phase first stage adds only a
+small overhead (except left-deep stars); with pruning the first phase
+pays for itself on larger non-star queries.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.multiphase import optimize_multiphase
+from repro.registry import make_optimizer
+from repro.workloads import random_connected_graph, star
+from repro.workloads.weights import weighted_query
+
+from benchmarks.conftest import print_result
+
+QUERY = weighted_query(random_connected_graph(9, 0.4, 3), 3)
+STAR = weighted_query(star(9), 3)
+
+SINGLE_PHASE = [
+    "TLNmc", "TLNmcP", "TBNmc", "TBNmcP",
+    "TLCnaive", "TLCnaiveP", "TBCnaive", "TBCnaiveP",
+]
+
+
+@pytest.mark.parametrize("algorithm", SINGLE_PHASE)
+def test_table2_single_phase_benchmark(benchmark, algorithm):
+    plan = benchmark(lambda: make_optimizer(algorithm, QUERY).optimize())
+    assert plan.cost > 0
+
+
+@pytest.mark.parametrize(
+    "phases",
+    [["TLNmcP", "TLCnaiveP"], ["TBNmcP", "TBCnaiveP"]],
+    ids=lambda p: "+".join(p),
+)
+def test_table2_two_phase_benchmark(benchmark, phases):
+    result = benchmark(lambda: optimize_multiphase(QUERY, phases))
+    assert result.plan.cost > 0
+
+
+class TestSeries:
+    @pytest.fixture(scope="class")
+    def table2(self, scale):
+        return EXPERIMENTS["table2"](scale)
+
+    def test_series(self, table2):
+        print_result(table2)
+        assert table2.rows
+
+    def test_star5_join_op_anchors(self, table2):
+        anchors = {
+            "Left-Deep CP-free": 36,
+            "Bushy CP-free": 64,
+            "Left-Deep with CPs": 75,
+            "Bushy with CPs": 180,
+        }
+        for row in table2.rows:
+            if row["algorithm"] == "(join ops)":
+                assert row["star:5"] == anchors[row["space"]]
+
+    def test_pruning_stronger_with_cps(self, table2):
+        by_space = {}
+        for row in table2.rows:
+            by_space.setdefault(row["space"], {})[row["algorithm"]] = row
+        sizes = [c for c in table2.columns if c.startswith("star:")]
+        largest = sizes[-1]
+        cp_free = (
+            by_space["Bushy CP-free"]["TBNmcP"][largest]
+            / by_space["Bushy CP-free"]["TBNmc"][largest]
+        )
+        with_cp = (
+            by_space["Bushy with CPs"]["TBCnaiveP"][largest]
+            / by_space["Bushy with CPs"]["TBCnaive"][largest]
+        )
+        assert with_cp < cp_free * 1.5  # pruning at least comparable, usually stronger
+
+    def test_two_phase_overhead_small_for_exhaustive(self, table2):
+        """Exhaustive two-phase ≈ single-phase + cheap first stage."""
+        by_space = {}
+        for row in table2.rows:
+            by_space.setdefault(row["space"], {})[row["algorithm"]] = row
+        rows = by_space["Bushy with CPs"]
+        cells = [c for c in table2.columns if ":" in c and not c.startswith("star")]
+        for cell in cells:
+            single = rows["TBCnaive"][cell]
+            two_phase = rows["TBNmc+TBCnaive"][cell]
+            assert two_phase < single * 1.6

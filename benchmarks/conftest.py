@@ -1,0 +1,42 @@
+"""Shared benchmark fixtures.
+
+Each benchmark module covers one figure/table of the paper:
+
+=======================  =====================================================
+module                   paper content
+=======================  =====================================================
+bench_fig02_05_mincuts   Figs. 2-5: minimal-cut enumeration CPU time
+bench_fig06_08_leftdeep  Figs. 6-8: left-deep exhaustive optimization
+bench_fig09_12_bushy     Figs. 9-12: bushy exhaustive optimization
+bench_fig13_14_storage   Figs. 13/14: branch-and-bound memo storage
+bench_fig15_20_bnb_cpu   Figs. 15-20: branch-and-bound CPU time
+bench_fig21_30_memory    Figs. 21-30: CPU/storage trade-off
+bench_table2             Table 2: absolute enumeration cost, 4 spaces
+=======================  =====================================================
+
+Two kinds of entries per module:
+
+* ``test_*_series`` — runs the harness driver at small scale, prints the
+  same rows/series the paper's figure plots, and asserts its shape claims;
+* ``test_*_benchmark`` — pytest-benchmark micro-timings of the individual
+  algorithms at one representative size, so ``--benchmark-only`` produces
+  a who-beats-whom comparison table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_result(result) -> None:
+    """Render an ExperimentResult to the captured stdout."""
+    print()
+    print(result.render())
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    """Benchmark scale; override with REPRO_SCALE=paper."""
+    import os
+
+    return os.environ.get("REPRO_SCALE", "small")

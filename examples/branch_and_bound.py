@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Branch-and-bound: the accumulated-cost pathology, reproduced live.
+
+Section 4 of the paper reports a surprise: accumulated-cost bounding
+(Algorithm 7, the budget mechanism of Volcano/Cascades/Columbia) prunes
+memo storage hard, yet on larger star queries it makes the optimizer
+*slower* than exhaustive search, because threading budgets through the
+recursion undercuts memoization — the same logical expression is
+re-optimized again and again under different budgets.  Predicted-cost
+bounding (Columbia's lower-bound test) keeps the divide-and-conquer
+structure intact and only ever helps.
+
+This example optimizes growing star queries with all four variants of
+TBNMC and prints CPU time, memo cells, and the re-expansion counter that
+explains the effect.
+
+Run:  python examples/branch_and_bound.py
+"""
+
+import time
+
+from repro import Metrics, make_optimizer
+from repro.workloads import star, weighted_query
+
+VARIANTS = ("", "A", "P", "AP")
+
+print(f"{'n':>3} | " + " | ".join(
+    f"{'TBNmc' + v or 'TBNmc':>10} {'cells':>6} {'re-exp':>6}" for v in VARIANTS
+))
+print("-" * 100)
+
+for n in (6, 8, 10, 11):
+    cells_of = {}
+    line = [f"{n:>3} |"]
+    for variant in VARIANTS:
+        metrics = Metrics()
+        optimizer = make_optimizer(
+            "TBNmc" + variant, weighted_query(star(n), rng=n * 7919), metrics=metrics
+        )
+        start = time.perf_counter()
+        plan = optimizer.optimize()
+        elapsed = (time.perf_counter() - start) * 1e3
+        cells_of[variant] = plan.cost
+        line.append(
+            f"{elapsed:>8.1f}ms {optimizer.memo.populated_cells():>6} "
+            f"{metrics.expressions_reexpanded:>6} |"
+        )
+    assert len({round(c, 6) for c in cells_of.values()}) == 1  # same optimum
+    print(" ".join(line))
+
+print(
+    "\nReading the table: the exhaustive column never re-expands an\n"
+    "expression; the A column re-expands thousands of times and its\n"
+    "runtime deteriorates with n, while P stays reliably below the\n"
+    "exhaustive time — the paper's Figures 15/16 in miniature."
+)

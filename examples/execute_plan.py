@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""End to end: parse a query, optimize it, and actually run the plan.
+
+Uses the textual query DSL, the optimizer, the synthetic data generator,
+and the execution engine together.  Also demonstrates the semantic
+invariant behind the whole repository: plans from *different* algorithms
+and plan spaces execute to exactly the same result set.
+
+Run:  python examples/execute_plan.py
+"""
+
+from repro import make_optimizer
+from repro.catalog.parser import parse_query
+from repro.exec import ExecutionEngine, generate_database
+
+QUERY_TEXT = (
+    "orders(200000) customer(40000) nation(25) region(5) supplier(1000);"
+    "orders-customer:2.5e-5 customer-nation:0.04 nation-region:0.2 "
+    "supplier-nation:0.04"
+)
+
+query = parse_query(QUERY_TEXT)
+print(f"query: {query.describe()}")
+
+# min_rows >= max_domain makes every table cover its key domains, so the
+# tiny dimension tables behave like enumerated primary-key tables.
+database = generate_database(query, rng=7, max_rows=120, min_rows=8, max_domain=8)
+for v in range(query.n):
+    print(f"  {query.relations[v].name:<9} {database.row_count(v):>3} rows "
+          f"(scaled from {query.relations[v].cardinality:,.0f})")
+
+engine = ExecutionEngine(database)
+signatures = {}
+for algorithm in ("TBNmc", "TLNmc", "BBNccp", "TBCnaiveP"):
+    plan = make_optimizer(algorithm, query).optimize()
+    rows = engine.execute(plan)
+    signatures[algorithm] = engine.result_signature(plan)
+    print(f"\n{algorithm}: cost={plan.cost:,.0f}  {plan.sql_like()}")
+    print(f"  executed -> {len(rows)} result rows")
+
+assert len(set(signatures.values())) == 1
+print(
+    "\nall four plans (different shapes, different search spaces, "
+    "different algorithms)\nproduced the identical result set ✔"
+)
+
+sample = sorted(next(iter(signatures.values())))[:3]
+print(f"sample result provenance (base-row ids): {sample}")

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Demand-driven interesting orders (the first top-down enhancement).
+
+Section 1 lists demand-driven interesting orders among the benefits of
+top-down search: an order requirement (say, ORDER BY on a join key) is
+pushed *down* into the search on demand, so an order-producing operator
+(here, sort-merge join) can satisfy it for free where a bottom-up
+optimizer would tack a sort onto the finished plan.
+
+This example requests the final result sorted on each relation's join
+key in turn and compares
+
+* **demand-driven**: ``optimize(order=o)`` — Algorithm 1's ``o``
+  machinery, memo keyed by ``(expression, order)``;
+* **sort-on-top**: the unordered optimum wrapped in a sort enforcer.
+
+Demand-driven is never worse, and whenever the optimal ordered plan ends
+in a sort-merge join it is strictly better.
+
+Run:  python examples/interesting_orders.py
+"""
+
+from repro import CostModel, TopDownEnumerator
+from repro.partition import MinCutLazy
+from repro.workloads import chain, weighted_query
+
+model = CostModel()
+query = weighted_query(chain(5), rng=3)
+enumerator = TopDownEnumerator(query, MinCutLazy(), model)
+unordered = enumerator.optimize()
+
+print(f"query: {query.describe()}")
+print(f"unordered optimum: cost={unordered.cost:,.0f}  {unordered.sql_like()}\n")
+print(f"{'order on':>10} {'demand-driven':>15} {'sort-on-top':>13} {'saving':>8}  top operator")
+
+total_wins = 0
+for order in range(query.n):
+    demanded = enumerator.optimize(order=order)
+    sort_on_top = model.build_sort(query, unordered, order)
+    saving = 1 - demanded.cost / sort_on_top.cost
+    if demanded.cost < sort_on_top.cost * (1 - 1e-9):
+        total_wins += 1
+    print(
+        f"{query.relation_name(order):>10} {demanded.cost:>15,.0f} "
+        f"{sort_on_top.cost:>13,.0f} {saving:>7.1%}  {demanded.op}"
+    )
+    assert demanded.cost <= sort_on_top.cost * (1 + 1e-9)
+
+print(
+    f"\ndemand-driven ordering beat the sort-on-top fallback on "
+    f"{total_wins}/{query.n} requested orders (it can never lose: the "
+    "fallback is one of the alternatives it considers)."
+)

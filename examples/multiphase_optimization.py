@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Multi-phase optimization over growing search spaces (Section 5.2).
+
+An application demanding the globally optimal plan must eventually search
+bushy trees *with* cartesian products — a Θ(3^n) space.  A bottom-up
+optimizer gains nothing from first solving a smaller space, but a
+top-down optimizer with branch-and-bound turns the smaller space's
+optimum into an initial upper bound that prunes the big search.
+
+This example optimizes a weighted acyclic query three ways:
+
+1. single-phase exhaustive search of bushy-with-CP space (TBCnaive);
+2. single-phase predicted-cost search (TBCnaiveP);
+3. two-phase: optimal CP-free search first, its plan seeding a
+   predicted-cost search of the full space (TBNmcP + TBCnaiveP).
+
+Run:  python examples/multiphase_optimization.py [n] [seed]
+"""
+
+import sys
+import time
+
+from repro import Metrics, make_optimizer, optimize_multiphase
+from repro.workloads import random_connected_graph, weighted_query
+
+
+def timed(label, fn):
+    start = time.perf_counter()
+    result = fn()
+    elapsed = time.perf_counter() - start
+    return label, elapsed, result
+
+
+def main() -> int:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 10
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 11
+    query = weighted_query(random_connected_graph(n, 0.0, seed), seed)
+    print(f"query: {query.describe()}\n")
+
+    runs = []
+    metrics1 = Metrics()
+    runs.append(timed(
+        "exhaustive (TBCnaive)",
+        make_optimizer("TBCnaive", query, metrics=metrics1).optimize,
+    ))
+    metrics2 = Metrics()
+    runs.append(timed(
+        "predicted-cost (TBCnaiveP)",
+        make_optimizer("TBCnaiveP", query, metrics=metrics2).optimize,
+    ))
+    runs.append(timed(
+        "two-phase (TBNmcP + TBCnaiveP)",
+        lambda: optimize_multiphase(query, ["TBNmcP", "TBCnaiveP"]).plan,
+    ))
+
+    costs = set()
+    print(f"{'strategy':<32} {'seconds':>9} {'plan cost':>14}")
+    for label, elapsed, result in runs:
+        plan = result if hasattr(result, "cost") else result.plan
+        costs.add(round(plan.cost, 6))
+        print(f"{label:<32} {elapsed:>9.3f} {plan.cost:>14.6g}")
+    assert len(costs) == 1, "all strategies must find the global optimum"
+
+    print(
+        "\nAll three find the same global optimum; pruning shrinks the\n"
+        "Θ(3^n) search dramatically, and the CP-free first phase is cheap\n"
+        "insurance that usually pays for itself (paper Table 2)."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

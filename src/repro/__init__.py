@@ -1,0 +1,73 @@
+"""repro — Optimal Top-Down Join Enumeration (DeHaan & Tompa, SIGMOD 2007).
+
+A complete reproduction of the paper's system: memoized top-down
+partitioning search over pluggable plan spaces, optimal minimal-cut
+partitioning via lazily rebuilt biconnection trees, branch-and-bound
+(accumulated- and predicted-cost), memory-bounded memo tables, bottom-up
+baselines (DPsize, DPsub, DPccp), and the full experiment harness for
+every figure and table of the evaluation.
+
+Quickstart::
+
+    from repro import optimize, star, weighted_query
+
+    query = weighted_query(star(8), rng=42)
+    plan = optimize("TBNmc", query)       # paper's optimal top-down algorithm
+    print(plan.tree_string())
+"""
+
+from repro.analysis.metrics import Metrics
+from repro.catalog import Catalog, JoinPredicate, Query, Relation
+from repro.core.joingraph import Edge, JoinGraph
+from repro.cost.io_model import CostModel
+from repro.enumerator import Bounding, OptimizationError, TopDownEnumerator
+from repro.memo import GlobalPlanCache, MemoTable
+from repro.multiphase import MultiPhaseResult, optimize_multiphase
+from repro.plans import Plan, validate_plan
+from repro.registry import available_algorithms, make_optimizer, optimize
+from repro.spaces import PlanSpace
+from repro.workloads import (
+    chain,
+    clique,
+    cycle,
+    grid,
+    random_connected_graph,
+    star,
+    weighted_query,
+    wheel,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Metrics",
+    "Catalog",
+    "JoinPredicate",
+    "Query",
+    "Relation",
+    "Edge",
+    "JoinGraph",
+    "CostModel",
+    "Bounding",
+    "OptimizationError",
+    "TopDownEnumerator",
+    "GlobalPlanCache",
+    "MemoTable",
+    "MultiPhaseResult",
+    "optimize_multiphase",
+    "Plan",
+    "validate_plan",
+    "available_algorithms",
+    "make_optimizer",
+    "optimize",
+    "PlanSpace",
+    "chain",
+    "clique",
+    "cycle",
+    "grid",
+    "random_connected_graph",
+    "star",
+    "weighted_query",
+    "wheel",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Analysis utilities: instrumentation counters and search-space counting."""
+
+from repro.analysis.metrics import Metrics
+from repro.analysis.counting import (
+    count_connected_subgraphs,
+    count_join_operators,
+    count_minimal_cuts,
+    ono_lohman_join_operators,
+    ono_lohman_minimal_cuts,
+)
+
+__all__ = [
+    "Metrics",
+    "count_connected_subgraphs",
+    "count_join_operators",
+    "count_minimal_cuts",
+    "ono_lohman_join_operators",
+    "ono_lohman_minimal_cuts",
+]

@@ -1,0 +1,145 @@
+"""Search-space counting: closed forms and brute-force oracles.
+
+Ono & Lohman (VLDB 1990) quantify the number of join operators an optimal
+enumeration must consider for each plan space and join-graph shape; the
+paper uses those lower bounds as its optimality yardstick and reports the
+sizes in Table 2.  Conventions follow the paper: ``A ⋈ B`` and ``B ⋈ A``
+are counted separately (Table 2 footnote), so for example the bushy
+with-CP space over ``n`` relations contains ``3^n - 2^(n+1) + 1`` join
+operators and the left-deep with-CP space ``n * 2^(n-1) - n``.
+
+Closed forms here reproduce Table 2's own anchors (star n=5: 36 / 64 / 75 /
+180); the brute-force counters are exponential-time oracles used by the
+test suite to validate both the closed forms and the live algorithm
+counters on arbitrary graphs.
+"""
+
+from __future__ import annotations
+
+from repro.core.bitset import iter_bits, iter_subsets
+from repro.core.joingraph import JoinGraph
+from repro.spaces import PlanSpace
+
+__all__ = [
+    "count_connected_subgraphs",
+    "count_join_operators",
+    "count_minimal_cuts",
+    "ono_lohman_join_operators",
+    "ono_lohman_minimal_cuts",
+]
+
+
+def count_connected_subgraphs(graph: JoinGraph, min_size: int = 1) -> int:
+    """Count vertex subsets of size >= ``min_size`` inducing connected graphs."""
+    total = 0
+    for subset in iter_subsets(graph.all_vertices):
+        if subset.bit_count() >= min_size and graph.is_connected(subset):
+            total += 1
+    return total
+
+
+def count_minimal_cuts(graph: JoinGraph, subset: int | None = None) -> int:
+    """Count unordered minimal cuts of ``G|_subset`` by brute force."""
+    if subset is None:
+        subset = graph.all_vertices
+    count = 0
+    for left in iter_subsets(subset, proper=True):
+        right = subset ^ left
+        if left < right and graph.is_connected(left) and graph.is_connected(right):
+            count += 1
+    return count
+
+
+def count_join_operators(graph: JoinGraph, space: PlanSpace) -> int:
+    """Brute-force count of join operators in ``space`` over ``graph``.
+
+    A join operator is an ordered pair ``(V_L, V_R)`` of disjoint non-empty
+    sets together with their union ``S``; left-deep spaces require
+    ``|V_R| = 1``, CP-free spaces require ``S``, ``V_L`` and ``V_R`` all
+    connected.  Exponential — use only for validation at small ``n``.
+    """
+    cp_free = not space.allows_cartesian_products
+    total = 0
+    for s in iter_subsets(graph.all_vertices):
+        if s.bit_count() < 2:
+            continue
+        if cp_free and not graph.is_connected(s):
+            continue
+        if space.is_left_deep:
+            for v in iter_bits(s):
+                rest = s ^ (1 << v)
+                if cp_free and not graph.is_connected(rest):
+                    continue
+                total += 1
+        else:
+            for left in iter_subsets(s, proper=True):
+                right = s ^ left
+                if cp_free and not (
+                    graph.is_connected(left) and graph.is_connected(right)
+                ):
+                    continue
+                total += 1
+    return total
+
+
+def ono_lohman_join_operators(topology: str, n: int, space: PlanSpace) -> int:
+    """Closed-form join-operator counts for canonical topologies.
+
+    Supported topologies: ``chain``, ``star``, ``clique``, ``cycle``.
+    With-CP spaces depend only on ``n``; CP-free forms are per-topology.
+    Raises ``ValueError`` for unsupported combinations.
+    """
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    if topology not in {"chain", "star", "clique", "cycle"}:
+        raise ValueError(f"unknown topology {topology!r}")
+    if topology == "cycle" and n < 3:
+        raise ValueError("cycle needs n >= 3")
+
+    if space.allows_cartesian_products:
+        if space.is_left_deep:
+            return n * 2 ** (n - 1) - n
+        return 3**n - 2 ** (n + 1) + 1
+
+    if space.is_left_deep:
+        if topology == "chain":
+            return n * (n - 1)
+        if topology == "star":
+            return 0 if n == 1 else (n - 1) * (2 ** (n - 2) + 1)
+        if topology == "clique":
+            return n * 2 ** (n - 1) - n
+        # cycle: every arc of length 2..n-1 has its 2 endpoints removable;
+        # the full cycle has all n vertices removable.
+        return 2 * (n - 2) * n + n if n >= 3 else 0
+
+    # Bushy CP-free.
+    if topology == "chain":
+        return (n**3 - n) // 3
+    if topology == "star":
+        return 0 if n == 1 else (n - 1) * 2 ** (n - 1)
+    if topology == "clique":
+        return 3**n - 2 ** (n + 1) + 1
+    # cycle: each of the n*(k-1) arcs of length k in 2..n-1 splits at k-1
+    # interior points; the full cycle splits into any of the n(n-1)/2
+    # complementary arc pairs.  Ordered: n(n-1)(n-2) + n(n-1) = n(n-1)^2.
+    return n * (n - 1) ** 2
+
+
+def ono_lohman_minimal_cuts(topology: str, n: int) -> int:
+    """Closed-form unordered minimal-cut counts for canonical topologies.
+
+    For any acyclic graph the count equals ``|E| = n - 1`` (Section 3.3.1),
+    so ``chain`` and ``star`` share a formula.  Cliques have every
+    non-trivial bipartition as a cut; cycles cut at any pair of edges.
+    """
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    if topology in {"chain", "star", "tree"}:
+        return max(0, n - 1)
+    if topology == "clique":
+        return 2 ** (n - 1) - 1
+    if topology == "cycle":
+        if n < 3:
+            raise ValueError("cycle needs n >= 3")
+        return n * (n - 1) // 2
+    raise ValueError(f"unknown topology {topology!r}")

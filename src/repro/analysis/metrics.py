@@ -1,0 +1,96 @@
+"""Machine-independent instrumentation counters.
+
+The paper's Java prototype reports CPU time; a pure-Python reproduction
+cannot match absolute timings, so every algorithm here additionally counts
+the operations the paper's complexity analysis talks about.  The storage
+experiments of Section 4.3.1 and the Columbia comparison of Section 4.3.2
+are reproduced directly from these counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+__all__ = ["Metrics"]
+
+
+@dataclass
+class Metrics:
+    """Counters accumulated during one optimization / partitioning run."""
+
+    #: Ordered partitions emitted by the Partition function.
+    partitions_emitted: int = 0
+    #: Join operators created and costed (physical operators, all methods).
+    join_operators_costed: int = 0
+    #: Logical join operators enumerated (one per partition per expression).
+    logical_joins_enumerated: int = 0
+    #: Connectivity tests performed (naive / optimistic strategies).
+    connectivity_tests: int = 0
+    #: Connectivity tests that failed (wasted work).
+    failed_connectivity_tests: int = 0
+    #: Biconnection trees built (MinCutEager/MinCutLazy).
+    bcc_trees_built: int = 0
+    #: Usability tests run (MinCutLazy).
+    usability_tests: int = 0
+    #: Usability tests that allowed reuse of the parent tree.
+    usability_hits: int = 0
+    #: Memo lookups and hits.
+    memo_lookups: int = 0
+    memo_hits: int = 0
+    #: Memo lookups answered by a stored lower bound (Algorithm 7 line 4).
+    memo_bound_hits: int = 0
+    #: CalcBestJoin invocations (expression expansions).
+    expressions_expanded: int = 0
+    #: CalcBestJoin invocations on an expression expanded before
+    #: (the re-enumeration pathology of Section 4.3.2).
+    expressions_reexpanded: int = 0
+    #: Subtrees abandoned by accumulated-cost budget exhaustion.
+    budget_failures: int = 0
+    #: Branches skipped by the predicted-cost lower-bound test.
+    predicted_prunes: int = 0
+    #: Cells evicted from a bounded memo (Section 5.1).
+    memo_evictions: int = 0
+    #: Peak number of populated memo cells (plans + lower bounds).
+    peak_memo_cells: int = 0
+    #: Plans stored in the memo at end of run.
+    final_memo_plans: int = 0
+    #: Lower bounds stored in the memo at end of run.
+    final_memo_bounds: int = 0
+
+    _expanded_sets: set[tuple[int, object]] = field(
+        default_factory=set, repr=False, compare=False
+    )
+
+    def note_expansion(self, key: tuple[int, object]) -> None:
+        """Record a CalcBestJoin invocation for ``key = (vertex set, order)``."""
+        self.expressions_expanded += 1
+        if key in self._expanded_sets:
+            self.expressions_reexpanded += 1
+        else:
+            self._expanded_sets.add(key)
+
+    @property
+    def unique_expressions_expanded(self) -> int:
+        """Number of distinct logical expressions expanded so far."""
+        return len(self._expanded_sets)
+
+    def as_dict(self) -> dict[str, int]:
+        """Counter values as a plain dict (private bookkeeping excluded)."""
+        result = {}
+        for f in fields(self):
+            if f.name.startswith("_"):
+                continue
+            result[f.name] = getattr(self, f.name)
+        result["unique_expressions_expanded"] = self.unique_expressions_expanded
+        return result
+
+    def merge(self, other: "Metrics") -> None:
+        """Accumulate ``other`` into ``self`` (used by multi-phase runs)."""
+        for f in fields(self):
+            if f.name.startswith("_"):
+                continue
+            if f.name == "peak_memo_cells":
+                self.peak_memo_cells = max(self.peak_memo_cells, other.peak_memo_cells)
+            else:
+                setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        self._expanded_sets |= other._expanded_sets

@@ -1,0 +1,20 @@
+"""Bottom-up join enumeration baselines.
+
+Implements the bottom-up side of the paper's Table 1:
+
+* size-driven compositional dynamic programming (System-R generalized to
+  bushy trees — ``DPsize``; the paper's BLNsize / BLCsize / BBNsize /
+  BBCsize);
+* subset-driven partitioning dynamic programming (Vance & Maier —
+  ``DPsub``; BBNnaive / BBCnaive);
+* connected-subgraph complement pairs (Moerkotte & Neumann — ``DPccp``;
+  BBNccp), the bottom-up algorithm whose optimality the paper's top-down
+  TBNMC matches.
+"""
+
+from repro.bottomup.base import BottomUpOptimizer
+from repro.bottomup.size_driven import DPsize
+from repro.bottomup.subset_driven import DPsub
+from repro.bottomup.dpccp import DPccp
+
+__all__ = ["BottomUpOptimizer", "DPsize", "DPsub", "DPccp"]

@@ -1,0 +1,93 @@
+"""Shared machinery for the bottom-up dynamic-programming optimizers."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.analysis.metrics import Metrics
+from repro.catalog.query import Query
+from repro.cost.io_model import CostModel
+from repro.plans.physical import Plan
+from repro.spaces import PlanSpace
+
+__all__ = ["BottomUpOptimizer"]
+
+
+class BottomUpOptimizer(ABC):
+    """Base class: a plan table keyed by vertex mask, filled bottom-up.
+
+    Unlike the top-down enumerator, bottom-up dynamic programming writes
+    blindly and later performs guaranteed reads (Section 5.1), so the plan
+    table here is a plain dict with no eviction support.  Interesting
+    orders are not implemented for the bottom-up baselines — exactly as in
+    the paper's experimental apparatus, which compares pure enumeration.
+    """
+
+    space: PlanSpace
+
+    def __init__(
+        self,
+        query: Query,
+        cost_model: CostModel | None = None,
+        *,
+        metrics: Metrics | None = None,
+    ) -> None:
+        self.query = query
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.plans: dict[int, Plan] = {}
+
+    def optimize(self, order: int | None = None) -> Plan:
+        """Return the optimal plan for the whole query."""
+        if order is not None:
+            raise NotImplementedError(
+                "interesting orders are a top-down feature in this reproduction"
+            )
+        self.plans.clear()
+        self._seed_scans()
+        self._run()
+        goal = self.query.graph.all_vertices
+        try:
+            plan = self.plans[goal]
+        except KeyError:
+            raise RuntimeError("bottom-up search produced no complete plan") from None
+        self.metrics.final_memo_plans = len(self.plans)
+        self.metrics.peak_memo_cells = max(
+            self.metrics.peak_memo_cells, len(self.plans)
+        )
+        return plan
+
+    def _seed_scans(self) -> None:
+        """Populate the table with the cheapest scan for every relation."""
+        for v in range(self.query.n):
+            subset = 1 << v
+            best = None
+            for scan in self.cost_model.scan_plans(self.query, subset, None):
+                if best is None or scan.cost < best.cost:
+                    best = scan
+            assert best is not None, "cost model must provide a scan"
+            self.plans[subset] = best
+
+    def _consider_join(self, left: int, right: int) -> None:
+        """Cost every join method for ``(left, right)`` and keep the best.
+
+        Both masks must already have plans in the table.
+        """
+        left_plan = self.plans[left]
+        right_plan = self.plans[right]
+        combined = left | right
+        incumbent = self.plans.get(combined)
+        metrics = self.metrics
+        metrics.logical_joins_enumerated += 1
+        for method in self.cost_model.JOIN_METHODS:
+            plan = self.cost_model.build_join(
+                self.query, method, left_plan, right_plan
+            )
+            metrics.join_operators_costed += 1
+            if incumbent is None or plan.cost < incumbent.cost:
+                incumbent = plan
+        self.plans[combined] = incumbent
+
+    @abstractmethod
+    def _run(self) -> None:
+        """Fill the plan table for all non-singleton expressions."""

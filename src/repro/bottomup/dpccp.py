@@ -1,0 +1,107 @@
+"""DPccp: connected-subgraph complement pair enumeration (BBNccp).
+
+Moerkotte & Neumann (VLDB 2006): the optimal *bottom-up* algorithm for
+bushy CP-free plans, which the paper's top-down TBNMC is designed to
+match.  The enumeration grows connected subgraphs (csg) from each vertex
+using breadth-limited neighbourhood expansion, and for each csg grows the
+connected complements (cmp) it can join with, emitting every
+csg-cmp-pair exactly once and in an order where both sides' optimal
+plans are already in the table.
+
+Notation follows the original: ``B_i`` is the mask of vertices with index
+``<= i``; ``N(S)`` the neighbourhood of ``S``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import Metrics
+from repro.bottomup.base import BottomUpOptimizer
+from repro.catalog.query import Query
+from repro.core.bitset import iter_bits, iter_subsets
+from repro.cost.io_model import CostModel
+from repro.spaces import PlanSpace
+
+__all__ = ["DPccp"]
+
+
+class DPccp(BottomUpOptimizer):
+    """Optimal bottom-up enumeration of bushy CP-free join trees."""
+
+    space = PlanSpace.bushy_cp_free()
+
+    def __init__(
+        self,
+        query: Query,
+        cost_model: CostModel | None = None,
+        *,
+        metrics: Metrics | None = None,
+    ) -> None:
+        super().__init__(query, cost_model, metrics=metrics)
+
+    def _run(self) -> None:
+        graph = self.query.graph
+        n = graph.n
+        for i in range(n - 1, -1, -1):
+            start = 1 << i
+            forbidden = (1 << (i + 1)) - 1  # B_i = vertices numbered <= i
+            self._emit_csg(start)
+            self._enumerate_csg_rec(start, forbidden)
+
+    # -- csg enumeration ---------------------------------------------------------
+
+    def _enumerate_csg_rec(self, subgraph: int, forbidden: int) -> None:
+        """Extend ``subgraph`` by subsets of its non-forbidden neighbourhood."""
+        graph = self.query.graph
+        neighbourhood = graph.neighbors_of_set(subgraph) & ~forbidden
+        if neighbourhood == 0:
+            return
+        for extension in iter_subsets(neighbourhood):
+            self._emit_csg(subgraph | extension)
+        blocked = forbidden | neighbourhood
+        for extension in iter_subsets(neighbourhood):
+            self._enumerate_csg_rec(subgraph | extension, blocked)
+
+    def _emit_csg(self, csg: int) -> None:
+        """A connected subgraph was enumerated: pair it with complements."""
+        if csg & (csg - 1):
+            # Non-singleton csgs appear here after all of their connected
+            # strict subsets, so all complement pairs below have plans.
+            pass
+        self._enumerate_cmp(csg)
+
+    # -- cmp enumeration -----------------------------------------------------------
+
+    def _enumerate_cmp(self, csg: int) -> None:
+        """Enumerate connected complements of ``csg`` and cost the joins."""
+        graph = self.query.graph
+        min_vertex = (csg & -csg).bit_length() - 1
+        forbidden = ((1 << (min_vertex + 1)) - 1) | csg
+        neighbourhood = graph.neighbors_of_set(csg) & ~forbidden
+        if neighbourhood == 0:
+            return
+        for v in sorted(iter_bits(neighbourhood)):
+            cmp_start = 1 << v
+            self._emit_ccp(csg, cmp_start)
+            below_v = (1 << (v + 1)) - 1
+            self._enumerate_cmp_rec(
+                csg, cmp_start, forbidden | (below_v & neighbourhood)
+            )
+
+    def _enumerate_cmp_rec(self, csg: int, cmp: int, forbidden: int) -> None:
+        graph = self.query.graph
+        neighbourhood = graph.neighbors_of_set(cmp) & ~forbidden & ~csg
+        if neighbourhood == 0:
+            return
+        for extension in iter_subsets(neighbourhood):
+            extended = cmp | extension
+            if graph.connects(csg, extended):
+                self._emit_ccp(csg, extended)
+        blocked = forbidden | neighbourhood
+        for extension in iter_subsets(neighbourhood):
+            self._enumerate_cmp_rec(csg, cmp | extension, blocked)
+
+    def _emit_ccp(self, left: int, right: int) -> None:
+        """Cost a csg-cmp pair in both join orders (the paper counts both)."""
+        self.metrics.partitions_emitted += 2
+        self._consider_join(left, right)
+        self._consider_join(right, left)

@@ -1,0 +1,75 @@
+"""Size-driven compositional dynamic programming (DPsize).
+
+Section 2.1: System-R's strategy generalized to bushy trees.  Expressions
+are optimized strictly by increasing size; for each target size the
+algorithm pairs every optimized expression of size ``s1`` with every
+optimized expression of size ``s - s1`` and discards pairs that overlap
+(and, in CP-free spaces, pairs not joined by a predicate).  The attempted
+compositions of overlapping sets are the well-known inefficiency of this
+method [Vance & Maier]; for CP-free spaces the generate-and-test against
+disconnected pairs makes it worse [Moerkotte & Neumann].
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import Metrics
+from repro.bottomup.base import BottomUpOptimizer
+from repro.catalog.query import Query
+from repro.cost.io_model import CostModel
+from repro.spaces import PlanSpace
+
+__all__ = ["DPsize"]
+
+
+class DPsize(BottomUpOptimizer):
+    """Size-driven DP for any of the four plan spaces.
+
+    ``space`` picks the paper's BLNsize / BLCsize / BBNsize / BBCsize.
+    """
+
+    def __init__(
+        self,
+        query: Query,
+        space: PlanSpace = PlanSpace.bushy_cp_free(),
+        cost_model: CostModel | None = None,
+        *,
+        metrics: Metrics | None = None,
+    ) -> None:
+        super().__init__(query, cost_model, metrics=metrics)
+        self.space = space
+
+    def _run(self) -> None:
+        graph = self.query.graph
+        n = graph.n
+        cp_free = not self.space.allows_cartesian_products
+        left_deep = self.space.is_left_deep
+        metrics = self.metrics
+
+        by_size: list[list[int]] = [[] for _ in range(n + 1)]
+        for v in range(n):
+            by_size[1].append(1 << v)
+
+        for size in range(2, n + 1):
+            if left_deep:
+                split_sizes = [size - 1]  # right side is always a singleton
+            else:
+                split_sizes = range(1, size)
+            new_masks: list[int] = []
+            for left_size in split_sizes:
+                right_size = size - left_size
+                for left in by_size[left_size]:
+                    for right in by_size[right_size]:
+                        metrics.partitions_emitted += 1
+                        if left & right:
+                            continue  # overlapping sets: wasted composition
+                        if cp_free:
+                            metrics.connectivity_tests += 1
+                            if not graph.connects(left, right):
+                                metrics.failed_connectivity_tests += 1
+                                continue
+                        combined = left | right
+                        if combined not in self.plans:
+                            new_masks.append(combined)
+                        self._consider_join(left, right)
+            # Deduplicate: several pairs produce the same combined mask.
+            by_size[size] = sorted(set(new_masks))

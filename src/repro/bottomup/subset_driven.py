@@ -1,0 +1,66 @@
+"""Subset-driven partitioning dynamic programming (DPsub, Vance & Maier).
+
+Section 2.2: enumeration is driven by the target set ``V`` (in an order
+where all subsets precede their supersets — increasing numeric mask order
+suffices), which is then partitioned into every choice of ``(V1, V2)``.
+For CP-free spaces the subset generation is naive — oblivious to the
+query graph — so it generates large numbers of cartesian-product splits
+that are all discarded, the inefficiency the paper's Figure 9 exhibits
+for BBNnaive.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import Metrics
+from repro.bottomup.base import BottomUpOptimizer
+from repro.catalog.query import Query
+from repro.core.bitset import iter_subsets
+from repro.cost.io_model import CostModel
+from repro.spaces import PlanSpace
+
+__all__ = ["DPsub"]
+
+
+class DPsub(BottomUpOptimizer):
+    """Subset-driven DP for bushy spaces (the paper's BBNnaive / BBCnaive)."""
+
+    def __init__(
+        self,
+        query: Query,
+        space: PlanSpace = PlanSpace.bushy_cp_free(),
+        cost_model: CostModel | None = None,
+        *,
+        metrics: Metrics | None = None,
+    ) -> None:
+        if space.is_left_deep:
+            raise ValueError(
+                "DPsub is a bushy-space algorithm (Table 1 has no left-deep row)"
+            )
+        super().__init__(query, cost_model, metrics=metrics)
+        self.space = space
+
+    def _run(self) -> None:
+        graph = self.query.graph
+        cp_free = not self.space.allows_cartesian_products
+        metrics = self.metrics
+        all_vertices = graph.all_vertices
+
+        for target in range(3, all_vertices + 1):
+            if target & (target - 1) == 0 or target & ~all_vertices:
+                continue  # singleton or out of range
+            for left in iter_subsets(target, proper=True):
+                right = target ^ left
+                metrics.partitions_emitted += 1
+                if cp_free:
+                    left_plan = self.plans.get(left)
+                    right_plan = self.plans.get(right)
+                    # A missing plan means the side is disconnected; the
+                    # pair is one of the discarded cartesian products.
+                    metrics.connectivity_tests += 1
+                    if left_plan is None or right_plan is None:
+                        metrics.failed_connectivity_tests += 1
+                        continue
+                    if not graph.connects(left, right):
+                        metrics.failed_connectivity_tests += 1
+                        continue
+                self._consider_join(left, right)

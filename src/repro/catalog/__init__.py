@@ -1,0 +1,6 @@
+"""Catalog substrate: relations, join predicates, and cardinality estimation."""
+
+from repro.catalog.stats import Catalog, JoinPredicate, Relation
+from repro.catalog.query import Query
+
+__all__ = ["Catalog", "JoinPredicate", "Relation", "Query"]

@@ -1,0 +1,88 @@
+"""A tiny textual DSL for describing join queries.
+
+Not part of the paper, but indispensable for playing with the optimizer:
+a query is one line of relations and one of predicates, e.g.::
+
+    orders(1e6) customer(100000) nation(25) region(5);
+    orders-customer:1e-5 customer-nation:0.04 nation-region:0.2
+
+Grammar (whitespace-separated tokens, ``;`` splits the two sections)::
+
+    relations  := relation+
+    relation   := NAME '(' CARDINALITY ')'
+    predicates := predicate+
+    predicate  := NAME '-' NAME ':' SELECTIVITY
+
+Numbers accept scientific notation.  The resulting join graph must be
+connected.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.catalog.query import Query
+from repro.catalog.stats import Catalog
+
+__all__ = ["parse_query", "QuerySyntaxError"]
+
+_RELATION = re.compile(r"^(?P<name>[A-Za-z_]\w*)\((?P<card>[^)]+)\)$")
+_PREDICATE = re.compile(
+    r"^(?P<left>[A-Za-z_]\w*)-(?P<right>[A-Za-z_]\w*):(?P<sel>\S+)$"
+)
+
+
+class QuerySyntaxError(ValueError):
+    """Raised when the query text cannot be parsed."""
+
+
+def _number(text: str, what: str) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        raise QuerySyntaxError(f"bad {what}: {text!r}") from None
+
+
+def parse_query(text: str) -> Query:
+    """Parse the DSL described in the module docstring into a Query."""
+    parts = text.split(";")
+    if len(parts) != 2:
+        raise QuerySyntaxError(
+            "expected exactly one ';' between relations and predicates"
+        )
+    relation_tokens = parts[0].split()
+    predicate_tokens = parts[1].split()
+    if not relation_tokens:
+        raise QuerySyntaxError("no relations given")
+
+    catalog = Catalog()
+    for token in relation_tokens:
+        match = _RELATION.match(token)
+        if match is None:
+            raise QuerySyntaxError(f"bad relation {token!r}; expected name(card)")
+        catalog.add_relation(
+            match.group("name"), _number(match.group("card"), "cardinality")
+        )
+
+    for token in predicate_tokens:
+        match = _PREDICATE.match(token)
+        if match is None:
+            raise QuerySyntaxError(
+                f"bad predicate {token!r}; expected left-right:selectivity"
+            )
+        try:
+            left = catalog.index_of(match.group("left"))
+            right = catalog.index_of(match.group("right"))
+        except KeyError as exc:
+            raise QuerySyntaxError(f"unknown relation {exc.args[0]!r}") from None
+        try:
+            catalog.add_predicate(
+                left, right, _number(match.group("sel"), "selectivity")
+            )
+        except ValueError as exc:
+            raise QuerySyntaxError(f"bad predicate {token!r}: {exc}") from None
+
+    try:
+        return Query.from_catalog(catalog)
+    except ValueError as exc:
+        raise QuerySyntaxError(str(exc)) from None

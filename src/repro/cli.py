@@ -1,0 +1,180 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro list-algorithms                      # registry contents
+    repro optimize --topology star --n 8 ...   # optimize one query
+    repro experiment fig9 [--scale paper]      # regenerate a figure/table
+    repro experiment all [--scale small]       # everything (EXPERIMENTS.md)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis.metrics import Metrics
+from repro.experiments import EXPERIMENTS
+from repro.registry import available_algorithms, make_optimizer, parse_name
+from repro.experiments.common import graph_maker
+from repro.workloads.weights import weighted_query
+
+__all__ = ["main"]
+
+
+def _cmd_list_algorithms(_args: argparse.Namespace) -> int:
+    for name in available_algorithms():
+        spec = parse_name(name)
+        direction = "top-down " if spec.top_down else "bottom-up"
+        optimal = "optimal" if spec.is_optimal_enumeration else "suboptimal"
+        bounding = spec.bounding.name if spec.bounding else "exhaustive"
+        print(
+            f"{name:12s} {direction} {spec.space.describe():18s} "
+            f"{spec.style:6s} {optimal:10s} {bounding}"
+        )
+    return 0
+
+
+def _build_query(args: argparse.Namespace):
+    if getattr(args, "query", None):
+        from repro.catalog.parser import parse_query
+
+        return parse_query(args.query)
+    make = graph_maker(args.topology)
+    graph = make(args.n, args.seed)
+    return weighted_query(graph, args.seed)
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    query = _build_query(args)
+    metrics = Metrics()
+    optimizer = make_optimizer(args.algorithm, query, metrics=metrics)
+    start = time.perf_counter()
+    plan = optimizer.optimize()
+    elapsed = time.perf_counter() - start
+    print(f"query: {query.describe()}")
+    print(f"algorithm: {args.algorithm}  ({elapsed * 1e3:.2f} ms)")
+    print(f"plan: {plan.sql_like()}")
+    print(f"cost: {plan.cost:.6g}")
+    print(plan.tree_string())
+    if args.metrics:
+        print("\ncounters:")
+        for key, value in sorted(metrics.as_dict().items()):
+            if value:
+                print(f"  {key}: {value}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    """Optimize a query, generate synthetic data, and execute the plan."""
+    from repro.exec import ExecutionEngine, generate_database
+
+    query = _build_query(args)
+    plan = make_optimizer(args.algorithm, query).optimize()
+    database = generate_database(
+        query, rng=args.seed, max_rows=args.rows,
+        min_rows=min(8, args.rows), max_domain=max(2, args.rows // 4),
+    )
+    engine = ExecutionEngine(database)
+    rows = engine.execute(plan)
+    print(f"query: {query.describe()}")
+    print(f"plan ({args.algorithm}): {plan.sql_like()}  cost={plan.cost:,.0f}")
+    for v in range(query.n):
+        print(f"  {query.relations[v].name:<12} {database.row_count(v):>5} rows")
+    print(f"result: {len(rows)} rows")
+    for row in rows[: args.limit]:
+        values = {k: v for k, v in sorted(row.items()) if k != "_rids"}
+        print(f"  {values}")
+    if len(rows) > args.limit:
+        print(f"  ... ({len(rows) - args.limit} more)")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.id == "all":
+        ids = list(EXPERIMENTS)
+    else:
+        if args.id not in EXPERIMENTS:
+            print(
+                f"unknown experiment {args.id!r}; choose from "
+                f"{', '.join(EXPERIMENTS)} or 'all'",
+                file=sys.stderr,
+            )
+            return 2
+        ids = [args.id]
+    for experiment_id in ids:
+        start = time.perf_counter()
+        result = EXPERIMENTS[experiment_id](args.scale)
+        elapsed = time.perf_counter() - start
+        if args.json:
+            print(result.to_json())
+        else:
+            print(result.render())
+            print(f"[completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Optimal top-down join enumeration (DeHaan & Tompa, SIGMOD 2007)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-algorithms", help="show the algorithm registry")
+
+    optimize = sub.add_parser("optimize", help="optimize a generated query")
+    optimize.add_argument("--algorithm", default="TBNmc")
+    optimize.add_argument(
+        "--topology",
+        default="star",
+        choices=["chain", "star", "cycle", "clique", "wheel",
+                 "random-acyclic", "random-cyclic"],
+    )
+    optimize.add_argument("--n", type=int, default=8)
+    optimize.add_argument("--seed", type=int, default=42)
+    optimize.add_argument("--metrics", action="store_true")
+    optimize.add_argument(
+        "--query",
+        help="textual query DSL, e.g. 'a(1000) b(500); a-b:0.01' "
+             "(overrides --topology/--n)",
+    )
+
+    run = sub.add_parser("run", help="optimize and execute on synthetic data")
+    run.add_argument("--algorithm", default="TBNmc")
+    run.add_argument(
+        "--topology",
+        default="star",
+        choices=["chain", "star", "cycle", "clique", "wheel",
+                 "random-acyclic", "random-cyclic"],
+    )
+    run.add_argument("--n", type=int, default=5)
+    run.add_argument("--seed", type=int, default=42)
+    run.add_argument("--query", help="textual query DSL (overrides --topology)")
+    run.add_argument("--rows", type=int, default=40, help="max rows per table")
+    run.add_argument("--limit", type=int, default=5, help="result rows to print")
+
+    experiment = sub.add_parser("experiment", help="regenerate a figure/table")
+    experiment.add_argument("id", help="fig2..fig30, table2, or 'all'")
+    experiment.add_argument("--scale", default="small", choices=["small", "paper"])
+    experiment.add_argument("--json", action="store_true", help="emit JSON rows")
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list-algorithms": _cmd_list_algorithms,
+        "optimize": _cmd_optimize,
+        "run": _cmd_run,
+        "experiment": _cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,317 @@
+"""Biconnected components, articulation vertices, and biconnection trees.
+
+Implements the graph-theoretic substrate of Section 3.3 of the paper:
+
+* articulation vertices and biconnected components via the classic
+  Hopcroft/Tarjan depth-first search (Aho, Hopcroft & Ullman), written
+  iteratively so deep graphs never hit Python's recursion limit;
+* the *biconnection tree* of Algorithm 3 (``BuildBccTree``): a tree whose
+  vertex nodes are the vertices of ``G`` and whose set nodes are the
+  biconnected components, rooted at a distinguished vertex ``t``;
+* the conservative usability test of Algorithm 5 / Lemma 3.2, which decides
+  in time proportional to the number of deleted vertices whether a tree
+  built for ``G|_{V1}`` may be reused for a connected ``G|_{V2}``,
+  ``V2 ⊆ V1``, without rebuilding.
+
+The tree precomputes, for every vertex ``v``, the descendant set
+``D_T(v)`` (``v`` plus all vertex nodes in the subtree rooted at ``v``) and
+the ancestor set ``A_T(v)`` (the vertex nodes on the path ``t ~> v``),
+both as bitmaps; ``MinCutLazy`` reads them in constant time and clips them
+with the current vertex set when reusing a stale tree (Section 3.3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bitset import bit, iter_bits, popcount
+
+__all__ = [
+    "BccNode",
+    "BiconnectionTree",
+    "articulation_vertices",
+    "biconnected_components",
+    "build_bcc_tree",
+    "is_usable",
+]
+
+
+@dataclass(frozen=True)
+class BccNode:
+    """A set node of the biconnection tree (one biconnected component).
+
+    ``members`` is the component's vertex mask, ``top`` the member closest
+    to the root (its parent vertex node), and ``children`` the mask
+    ``members \\ {top}`` of its child vertex nodes.
+    """
+
+    members: int
+    top: int
+
+    @property
+    def children(self) -> int:
+        """Mask of the component's child vertex nodes (members minus top)."""
+        return self.members & ~bit(self.top)
+
+    @property
+    def size(self) -> int:
+        """Number of vertices in the component."""
+        return popcount(self.members)
+
+
+class BiconnectionTree:
+    """Biconnection tree for a connected induced subgraph, rooted at ``t``.
+
+    Attributes
+    ----------
+    vertices:
+        Mask of the vertex set ``V1`` the tree was built for.
+    root:
+        The distinguished vertex ``t``.
+    components:
+        The set nodes, in the (bottom-up) order the DFS emitted them.
+    parent_component:
+        ``parent_component[v]`` is the index into :attr:`components` of the
+        set node whose child ``v`` is, or ``None`` for the root and for
+        vertices outside :attr:`vertices`.
+    descendants / ancestors:
+        ``D_T(v)`` / ``A_T(v)`` bitmaps, indexed by vertex.
+    """
+
+    __slots__ = (
+        "vertices",
+        "root",
+        "components",
+        "parent_component",
+        "descendants",
+        "ancestors",
+        "articulation",
+    )
+
+    def __init__(
+        self,
+        vertices: int,
+        root: int,
+        components: list[BccNode],
+        parent_component: list[int | None],
+        descendants: list[int],
+        ancestors: list[int],
+        articulation: int,
+    ) -> None:
+        self.vertices = vertices
+        self.root = root
+        self.components = components
+        self.parent_component = parent_component
+        self.descendants = descendants
+        self.ancestors = ancestors
+        self.articulation = articulation
+
+    def desc(self, v: int, within: int | None = None) -> int:
+        """Return ``D_T(v)``, optionally clipped to a current vertex set.
+
+        Clipping implements the lazy reuse rule of Section 3.3.1:
+        ``D_T2(v) = D_T1(v) ∩ V2`` when the tree is usable for ``G|_{V2}``.
+        """
+        d = self.descendants[v]
+        return d if within is None else d & within
+
+    def anc(self, v: int, within: int | None = None) -> int:
+        """Return ``A_T(v)``, optionally clipped to a current vertex set."""
+        a = self.ancestors[v]
+        return a if within is None else a & within
+
+    def leaves(self) -> int:
+        """Return the mask of leaf vertex nodes (the non-articulation vertices)."""
+        mask = 0
+        for v in iter_bits(self.vertices):
+            if self.descendants[v] == bit(v) and v != self.root:
+                mask |= bit(v)
+        # The root is a leaf of the biconnection structure when it is not an
+        # articulation vertex (it heads a single component).
+        if not self.articulation >> self.root & 1:
+            mask |= bit(self.root)
+        return mask
+
+    def is_usable_for(self, subset: int, *, size3_tweak: bool = False) -> bool:
+        """Algorithm 5: conservative usability test for ``G|_subset``.
+
+        Precondition (Definition 3.1): ``subset ⊆ vertices`` and both induce
+        connected subgraphs.  ``size3_tweak`` applies the footnote-2
+        refinement that avoids false negatives for components of size three
+        (triangles remain biconnected after deleting one child).
+        """
+        if subset == 0:
+            return True
+        if not subset >> self.root & 1:
+            return False
+        deleted = self.vertices & ~subset
+        for v in iter_bits(deleted):
+            comp_idx = self.parent_component[v]
+            if comp_idx is None:
+                return False
+            comp = self.components[comp_idx]
+            surviving_children = comp.children & ~deleted
+            if surviving_children:
+                if size3_tweak and comp.size == 3 and popcount(surviving_children) == 1:
+                    continue
+                return False
+        return True
+
+
+def _dfs_biconnected(
+    neighbors: list[int], subset: int, root: int
+) -> tuple[list[BccNode], int, list[int]]:
+    """Iterative Hopcroft–Tarjan DFS over ``G|_subset`` from ``root``.
+
+    Returns ``(components, articulation_mask, dfs_order)`` where
+    ``dfs_order`` lists the visited vertices in discovery order.  Only the
+    connected component of ``root`` within ``subset`` is visited.
+    """
+    dfnum: dict[int, int] = {root: 0}
+    low: dict[int, int] = {root: 0}
+    counter = 1
+    edge_stack: list[tuple[int, int]] = []
+    components: list[BccNode] = []
+    articulation = 0
+    root_children = 0
+    order = [root]
+
+    # Each frame is [vertex, parent, remaining-neighbour mask]; the mask acts
+    # as a resumable iterator over the adjacency bitmap.
+    frames: list[list[int]] = [[root, -1, neighbors[root] & subset]]
+    while frames:
+        frame = frames[-1]
+        v, parent, remaining = frame
+        descended = False
+        while remaining:
+            low_bit = remaining & -remaining
+            remaining ^= low_bit
+            frame[2] = remaining
+            w = low_bit.bit_length() - 1
+            if w not in dfnum:
+                edge_stack.append((v, w))
+                dfnum[w] = low[w] = counter
+                counter += 1
+                order.append(w)
+                frames.append([w, v, neighbors[w] & subset])
+                descended = True
+                break
+            if w != parent and dfnum[w] < dfnum[v]:
+                edge_stack.append((v, w))
+                if dfnum[w] < low[v]:
+                    low[v] = dfnum[w]
+        if descended:
+            continue
+        frames.pop()
+        if not frames:
+            break
+        u = frames[-1][0]
+        if low[v] < low[u]:
+            low[u] = low[v]
+        if low[v] >= dfnum[u]:
+            members = 0
+            while True:
+                a, b = edge_stack.pop()
+                members |= bit(a) | bit(b)
+                if (a, b) == (u, v):
+                    break
+            components.append(BccNode(members=members, top=u))
+            if u == root:
+                root_children += 1
+            else:
+                articulation |= bit(u)
+    if root_children >= 2:
+        articulation |= bit(root)
+    return components, articulation, order
+
+
+def biconnected_components(graph, subset: int | None = None) -> list[int]:
+    """Return the biconnected components of ``G|_subset`` as vertex masks.
+
+    ``graph`` is a :class:`~repro.core.joingraph.JoinGraph`.  ``subset`` must
+    induce a connected subgraph with at least one vertex.  A single isolated
+    vertex has no biconnected components.
+    """
+    if subset is None:
+        subset = graph.all_vertices
+    root = (subset & -subset).bit_length() - 1
+    components, _, _ = _dfs_biconnected(graph.neighbors, subset, root)
+    return [c.members for c in components]
+
+
+def articulation_vertices(graph, subset: int | None = None) -> int:
+    """Return the articulation vertices of connected ``G|_subset`` as a mask."""
+    if subset is None:
+        subset = graph.all_vertices
+    root = (subset & -subset).bit_length() - 1
+    _, articulation, _ = _dfs_biconnected(graph.neighbors, subset, root)
+    return articulation
+
+
+def build_bcc_tree(graph, subset: int, t: int) -> BiconnectionTree:
+    """Algorithm 3: build the biconnection tree for connected ``G|_subset``.
+
+    ``t`` designates the root vertex node.  Runs in ``O(|E|)`` and, as the
+    paper notes at the end of Section 3.3.1, precomputes ``D_T`` and ``A_T``
+    for every vertex in the same pass so that :class:`MinCutLazy` can read
+    them in constant time.
+    """
+    if not subset >> t & 1:
+        raise ValueError(f"root {t} not contained in subset {subset:#x}")
+    components, articulation, order = _dfs_biconnected(graph.neighbors, subset, t)
+    n = max(subset.bit_length(), 1)
+    parent_component: list[int | None] = [None] * n
+    child_components: list[list[int]] = [[] for _ in range(n)]
+    for idx, comp in enumerate(components):
+        child_components[comp.top].append(idx)
+        for m in iter_bits(comp.children):
+            if parent_component[m] is None:
+                parent_component[m] = idx
+
+    visited = 0
+    for v in order:
+        visited |= bit(v)
+    if visited != subset:
+        raise ValueError("subset does not induce a connected subgraph")
+
+    # Descendant masks: accumulate bottom-up in reverse discovery order.
+    descendants = [0] * n
+    for v in reversed(order):
+        d = bit(v)
+        for idx in child_components[v]:
+            comp = components[idx]
+            for m in iter_bits(comp.children):
+                d |= descendants[m]
+        descendants[v] = d
+
+    # Ancestor masks: accumulate top-down in discovery order.
+    ancestors = [0] * n
+    ancestors[t] = bit(t)
+    for v in order:
+        if v == t:
+            continue
+        comp = components[parent_component[v]]
+        ancestors[v] = ancestors[comp.top] | bit(v)
+
+    return BiconnectionTree(
+        vertices=subset,
+        root=t,
+        components=components,
+        parent_component=parent_component,
+        descendants=descendants,
+        ancestors=ancestors,
+        articulation=articulation,
+    )
+
+
+def sum_of_masks(masks) -> int:
+    """Union an iterable of masks (helper shared with tests)."""
+    total = 0
+    for m in masks:
+        total |= m
+    return total
+
+
+def is_usable(tree: BiconnectionTree, subset: int, *, size3_tweak: bool = False) -> bool:
+    """Module-level alias of :meth:`BiconnectionTree.is_usable_for`."""
+    return tree.is_usable_for(subset, size3_tweak=size3_tweak)

@@ -1,0 +1,208 @@
+"""Join graph encoded as an array of adjacency bitmaps.
+
+A query is represented as a connected graph ``G = (V, E)`` whose vertices
+are the relations to be joined and whose edges are join predicates
+(Section 2 of the paper).  Following Section 3.1 we encode ``G`` as one
+adjacency bitmap per vertex, so that the induced subgraph ``G|_{V'}`` is
+materialized lazily by intersecting ``V'`` with each adjacency bitmap on
+demand, and connectivity of a vertex subset is testable in ``O(|V|)`` word
+operations with a bitmap-frontier search.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.core.bitset import bit, iter_bits, mask_of, popcount
+
+
+@dataclass(frozen=True, order=True)
+class Edge:
+    """An undirected join edge between vertex indices ``u < v``."""
+
+    u: int
+    v: int
+
+    def __post_init__(self) -> None:
+        if self.u == self.v:
+            raise ValueError(f"self-loop at vertex {self.u}")
+        if self.u > self.v:
+            # Normalize so that Edge(2, 1) == Edge(1, 2).
+            u, v = self.v, self.u
+            object.__setattr__(self, "u", u)
+            object.__setattr__(self, "v", v)
+
+    @property
+    def mask(self) -> int:
+        """Mask containing both endpoints."""
+        return bit(self.u) | bit(self.v)
+
+
+class JoinGraph:
+    """Undirected join graph over vertices ``0 .. n-1``.
+
+    Attributes
+    ----------
+    n:
+        Number of vertices.
+    all_vertices:
+        Mask ``(1 << n) - 1`` of the full vertex set.
+    neighbors:
+        ``neighbors[v]`` is the adjacency bitmap of vertex ``v``.
+    edges:
+        The normalized, deduplicated edge list in sorted order.
+    """
+
+    __slots__ = ("n", "all_vertices", "neighbors", "edges", "_edge_set")
+
+    def __init__(self, n: int, edges: Sequence[Edge | tuple[int, int]]) -> None:
+        if n <= 0:
+            raise ValueError(f"graph needs at least one vertex, got n={n}")
+        normalized = sorted({e if isinstance(e, Edge) else Edge(*e) for e in edges})
+        for e in normalized:
+            if not 0 <= e.u < n and 0 <= e.v < n:
+                raise ValueError(f"edge {e} out of range for n={n}")
+            if e.v >= n:
+                raise ValueError(f"edge {e} out of range for n={n}")
+        self.n = n
+        self.all_vertices = (1 << n) - 1
+        adjacency = [0] * n
+        for e in normalized:
+            adjacency[e.u] |= bit(e.v)
+            adjacency[e.v] |= bit(e.u)
+        self.neighbors = adjacency
+        self.edges = tuple(normalized)
+        self._edge_set = frozenset(normalized)
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_edge_list(cls, edges: Sequence[tuple[int, int]]) -> "JoinGraph":
+        """Build a graph sized to the largest vertex index mentioned."""
+        if not edges:
+            raise ValueError("cannot infer size from an empty edge list")
+        n = 1 + max(max(u, v) for u, v in edges)
+        return cls(n, edges)
+
+    # -- basic queries ---------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"JoinGraph(n={self.n}, edges={[tuple((e.u, e.v)) for e in self.edges]})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, JoinGraph):
+            return NotImplemented
+        return self.n == other.n and self.edges == other.edges
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.edges))
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return True iff there is a join predicate between ``u`` and ``v``."""
+        return self.neighbors[u] >> v & 1 == 1
+
+    def degree(self, v: int) -> int:
+        """Number of join predicates incident to ``v``."""
+        return popcount(self.neighbors[v])
+
+    def edge_count(self) -> int:
+        """Total number of join predicates."""
+        return len(self.edges)
+
+    def neighbors_of_set(self, subset: int, *, within: int | None = None) -> int:
+        """Return ``N(subset)``: vertices adjacent to ``subset`` but outside it.
+
+        With ``within`` given, the neighbourhood is computed in the induced
+        subgraph ``G|_within`` (both ``subset`` and the result are clipped).
+        """
+        result = 0
+        for v in iter_bits(subset):
+            result |= self.neighbors[v]
+        result &= ~subset
+        if within is not None:
+            result &= within
+        return result
+
+    def edges_within(self, subset: int) -> Iterator[Edge]:
+        """Yield the edges of the induced subgraph ``G|_subset``."""
+        for e in self.edges:
+            if e.mask & subset == e.mask:
+                yield e
+
+    def edge_count_within(self, subset: int) -> int:
+        """Number of edges internal to ``subset``."""
+        return sum(1 for _ in self.edges_within(subset))
+
+    def connects(self, left: int, right: int) -> bool:
+        """Return True iff some edge joins the disjoint sets ``left``/``right``."""
+        for v in iter_bits(left):
+            if self.neighbors[v] & right:
+                return True
+        return False
+
+    # -- connectivity ----------------------------------------------------------
+
+    def reachable_from(self, start: int, subset: int) -> int:
+        """Return the vertices of ``subset`` reachable from ``start``.
+
+        ``start`` must be a singleton mask contained in ``subset``.  Uses a
+        bitmap frontier expansion: each round unions the adjacency bitmaps of
+        newly reached vertices, so the loop runs at most ``|subset|`` times.
+        """
+        reached = start
+        frontier = start
+        while frontier:
+            expansion = 0
+            for v in iter_bits(frontier):
+                expansion |= self.neighbors[v]
+            frontier = expansion & subset & ~reached
+            reached |= frontier
+        return reached
+
+    def is_connected(self, subset: int | None = None) -> bool:
+        """Return True iff ``G|_subset`` is connected (default: whole graph).
+
+        The empty set is considered disconnected; singletons are connected.
+        """
+        if subset is None:
+            subset = self.all_vertices
+        if subset == 0:
+            return False
+        start = subset & -subset
+        return self.reachable_from(start, subset) == subset
+
+    def connected_components(self, subset: int | None = None) -> list[int]:
+        """Return the masks of the connected components of ``G|_subset``."""
+        if subset is None:
+            subset = self.all_vertices
+        components = []
+        remaining = subset
+        while remaining:
+            start = remaining & -remaining
+            component = self.reachable_from(start, remaining)
+            components.append(component)
+            remaining &= ~component
+        return components
+
+    def is_connected_subset(self, subset: int) -> bool:
+        """Alias used by partition strategies; see :meth:`is_connected`."""
+        return self.is_connected(subset)
+
+    # -- convenience -----------------------------------------------------------
+
+    def vertex_masks(self) -> Iterator[int]:
+        """Yield the singleton mask of every vertex."""
+        for v in range(self.n):
+            yield bit(v)
+
+    def relabelled(self, permutation: Sequence[int]) -> "JoinGraph":
+        """Return an isomorphic graph with vertex ``v`` renamed ``permutation[v]``."""
+        if sorted(permutation) != list(range(self.n)):
+            raise ValueError("permutation must be a bijection on range(n)")
+        edges = [(permutation[e.u], permutation[e.v]) for e in self.edges]
+        return JoinGraph(self.n, edges)
+
+    def subset_mask(self, vertices: Iterable[int]) -> int:
+        """Build a vertex-set mask from vertex indices (thin alias of mask_of)."""
+        return mask_of(vertices)

@@ -1,0 +1,17 @@
+"""Cost model: textbook I/O formulas and the predicted-cost lower bound."""
+
+from repro.cost.io_model import (
+    CostModel,
+    external_sort_cost,
+    DEFAULT_BUFFER_PAGES,
+)
+from repro.cost.cout_model import CoutCostModel
+from repro.cost.lower_bounds import scan_lower_bound
+
+__all__ = [
+    "CostModel",
+    "CoutCostModel",
+    "external_sort_cost",
+    "DEFAULT_BUFFER_PAGES",
+    "scan_lower_bound",
+]

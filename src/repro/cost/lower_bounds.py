@@ -1,0 +1,29 @@
+"""Standalone lower-bound helpers for predicted-cost bounding.
+
+The primary entry point is :meth:`repro.cost.io_model.CostModel.lower_bound`;
+this module offers the same quantity as a free function plus a whole-plan
+lower bound used by tests to verify conservativeness.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.query import Query
+
+__all__ = ["scan_lower_bound", "subtree_lower_bound"]
+
+
+def scan_lower_bound(query: Query, subset: int) -> float:
+    """I/O pages to scan ``subset``'s result; zero for base relations.
+
+    Base relations are free because an index-based plan could avoid
+    touching every tuple; intermediate results must be read in full
+    (Section 4.2, footnote 3).
+    """
+    if subset & (subset - 1) == 0:
+        return 0.0
+    return query.pages(subset)
+
+
+def subtree_lower_bound(query: Query, left: int, right: int) -> float:
+    """Lower bound on any plan joining ``left`` with ``right``."""
+    return scan_lower_bound(query, left) + scan_lower_bound(query, right)

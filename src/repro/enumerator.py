@@ -1,0 +1,363 @@
+"""Top-Down Partition Search (Algorithms 1 and 7).
+
+This module is the paper's core contribution area: memoized top-down join
+enumeration driven by a pluggable :class:`~repro.partition.PartitionStrategy`.
+The plan space — left-deep vs. bushy, with or without cartesian products —
+is controlled *only* by the partition strategy, exactly as in Section 3.1.
+
+Three search modes are supported and freely combinable:
+
+* **exhaustive** (Algorithm 1): plain memoized divide and conquer;
+* **predicted-cost bounding** (Section 4.2): before exploring a partition,
+  compare a logical-property lower bound against the best plan found so
+  far for the *current* expression (upper bound starts at infinity per
+  expression);
+* **accumulated-cost bounding** (Algorithm 7): thread a cost budget down
+  the recursion, abandon subtrees whose budget is exhausted, and record
+  failed budgets in the memo as lower bounds.
+
+Demand-driven interesting orders follow Algorithm 1's skeleton: the memo
+is keyed by ``(expression, order)``, ordered plans can be obtained through
+a sort enforcer on the unordered optimum or from order-producing operators
+(sort-merge join), and — as in the paper's experiments — all benchmarks
+run with the empty order.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.analysis.metrics import Metrics
+from repro.catalog.query import Query
+from repro.cost.io_model import CostModel
+from repro.memo import MemoTable
+from repro.partition.base import PartitionStrategy
+from repro.plans.physical import INFINITY, Plan, plan_cost
+
+__all__ = ["Bounding", "OptimizationError", "TopDownEnumerator"]
+
+
+class Bounding(enum.Flag):
+    """Branch-and-bound configuration (paper suffixes: A, P, AP)."""
+
+    NONE = 0
+    ACCUMULATED = enum.auto()
+    PREDICTED = enum.auto()
+
+    @classmethod
+    def from_suffix(cls, suffix: str) -> "Bounding":
+        """Parse the paper's algorithm-name suffix ('', 'A', 'P', 'AP')."""
+        mapping = {
+            "": cls.NONE,
+            "A": cls.ACCUMULATED,
+            "P": cls.PREDICTED,
+            "AP": cls.ACCUMULATED | cls.PREDICTED,
+        }
+        try:
+            return mapping[suffix.upper()]
+        except KeyError:
+            raise ValueError(f"unknown bounding suffix {suffix!r}") from None
+
+
+class OptimizationError(RuntimeError):
+    """Raised when no plan exists for the requested expression/space."""
+
+
+class TopDownEnumerator:
+    """Memoized top-down partition search over one query.
+
+    Parameters
+    ----------
+    query:
+        The (connected) join query to optimize.
+    partition:
+        The Partition function of Algorithm 1; determines the plan space.
+    cost_model:
+        Physical operators and costing; defaults to the shared I/O model.
+    bounding:
+        Branch-and-bound mode (see :class:`Bounding`).
+    memo:
+        Memo table; defaults to a fresh unbounded :class:`MemoTable`.
+        Pass a capacity-limited table for the Section 5.1 experiments or a
+        :class:`~repro.memo.GlobalPlanCache` for cross-query reuse.
+    metrics:
+        Counter sink; defaults to a fresh :class:`Metrics`.
+    """
+
+    def __init__(
+        self,
+        query: Query,
+        partition: PartitionStrategy,
+        cost_model: CostModel | None = None,
+        *,
+        bounding: Bounding = Bounding.NONE,
+        memo: MemoTable | None = None,
+        metrics: Metrics | None = None,
+    ) -> None:
+        self.query = query
+        self.partition = partition
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.bounding = bounding
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.memo = memo if memo is not None else MemoTable(metrics=self.metrics)
+        if self.memo.metrics is None:
+            self.memo.metrics = self.metrics
+
+    @property
+    def space(self):
+        """The plan space searched (delegated to the partition strategy)."""
+        return self.partition.space
+
+    # -- public API -----------------------------------------------------------
+
+    def optimize(
+        self,
+        order: int | None = None,
+        *,
+        initial_plan: Plan | None = None,
+    ) -> Plan:
+        """Return the optimal plan for the whole query.
+
+        ``initial_plan`` optionally seeds the search with a known valid
+        plan (Section 5.2's multi-phase optimization): with accumulated
+        bounding its cost becomes the root budget; with predicted bounding
+        it is the root's initial upper bound.  The result is never worse
+        than ``initial_plan``.
+        """
+        subset = self.query.graph.all_vertices
+        if Bounding.ACCUMULATED in self.bounding:
+            budget = plan_cost(initial_plan)
+            plan = self._get_best_budgeted(subset, order, budget, seed=initial_plan)
+            if plan is None:
+                plan = initial_plan
+            if plan is None:
+                raise OptimizationError("no plan found within the cost budget")
+            return plan
+        plan = self._get_best(subset, order, seed=initial_plan)
+        if plan is None:
+            raise OptimizationError("no plan exists for the query")
+        return plan
+
+    def best_plan(self, subset: int, order: int | None = None) -> Plan:
+        """Optimize an arbitrary sub-expression (used by tests/examples)."""
+        if subset == 0:
+            raise OptimizationError("empty expression")
+        if (
+            not self.space.allows_cartesian_products
+            and not self.query.graph.is_connected(subset)
+        ):
+            raise OptimizationError(
+                f"subset {subset:#x} is disconnected: no CP-free plan exists"
+            )
+        plan = self._get_best(subset, order, seed=None)
+        if plan is None:
+            raise OptimizationError(f"no plan for subset {subset:#x}")
+        return plan
+
+    # -- Algorithm 1 -----------------------------------------------------------
+
+    def _get_best(
+        self, subset: int, order: int | None, seed: Plan | None = None
+    ) -> Plan | None:
+        """GetBestPlan: memo lookup, then scan or join calculation."""
+        metrics = self.metrics
+        metrics.memo_lookups += 1
+        entry = self.memo.get(self.query, subset, order)
+        if entry is not None and entry.has_plan:
+            plan = self.memo.plan_for_query(self.query, entry)
+            if plan is not None:
+                metrics.memo_hits += 1
+                return plan
+        if subset & (subset - 1) == 0:
+            plan = self._calc_best_scan(subset, order)
+        else:
+            plan = self._calc_best_join(subset, order, seed)
+        if plan is not None:
+            self.memo.store_plan(self.query, subset, order, plan)
+        return plan
+
+    def _calc_best_scan(self, subset: int, order: int | None) -> Plan | None:
+        """CalcBestScan: cheapest access path satisfying ``order``."""
+        best: Plan | None = None
+        if order is not None:
+            unordered = self._get_best(subset, None)
+            if unordered is not None:
+                best = self.cost_model.build_sort(self.query, unordered, order)
+        for scan in self.cost_model.scan_plans(self.query, subset, order):
+            if scan.cost < plan_cost(best):
+                best = scan
+        return best
+
+    def _calc_best_join(
+        self, subset: int, order: int | None, seed: Plan | None
+    ) -> Plan | None:
+        """CalcBestJoin: partition, recurse, cost each join operator."""
+        query = self.query
+        cost_model = self.cost_model
+        metrics = self.metrics
+        predicted = Bounding.PREDICTED in self.bounding
+        metrics.note_expansion((subset, order))
+
+        best = seed
+        if order is not None:
+            unordered = self._get_best(subset, None)
+            if unordered is not None:
+                sorted_plan = cost_model.build_sort(query, unordered, order)
+                if sorted_plan.cost < plan_cost(best):
+                    best = sorted_plan
+
+        for left, right in self.partition.partitions(query.graph, subset, metrics):
+            metrics.logical_joins_enumerated += 1
+            if predicted:
+                bound = cost_model.lower_bound(query, left, right)
+                if bound >= plan_cost(best):
+                    metrics.predicted_prunes += 1
+                    continue
+            # Every physical method takes unordered inputs, so the child
+            # lookups are hoisted out of the method loop (with a memo this
+            # is a wash; with a capacity-limited memo it avoids tripling
+            # the recomputation).
+            left_plan = None
+            right_plan = None
+            for method in cost_model.JOIN_METHODS:
+                if order is not None:
+                    produced = cost_model.join_output_order(
+                        query, method, left, right
+                    )
+                    if produced != order:
+                        continue
+                if left_plan is None:
+                    left_plan = self._get_best(left, None)
+                    right_plan = self._get_best(right, None)
+                if left_plan is None or right_plan is None:
+                    break
+                plan = cost_model.build_join(query, method, left_plan, right_plan)
+                metrics.join_operators_costed += 1
+                if plan.cost < plan_cost(best):
+                    best = plan
+        return best
+
+    # -- Algorithm 7 (accumulated-cost bounding) ---------------------------------
+
+    def _get_best_budgeted(
+        self,
+        subset: int,
+        order: int | None,
+        budget: float,
+        seed: Plan | None = None,
+    ) -> Plan | None:
+        """GetBestPlan with a cost budget; returns None on failure.
+
+        The memo stores either a (globally optimal) plan or the largest
+        budget that already failed.  A stored optimal plan whose cost
+        exceeds the budget proves no qualifying plan exists.
+        """
+        metrics = self.metrics
+        metrics.memo_lookups += 1
+        entry = self.memo.get(self.query, subset, order)
+        if entry is not None:
+            if entry.has_plan:
+                plan = self.memo.plan_for_query(self.query, entry)
+                if plan is not None:
+                    if plan.cost <= budget:
+                        metrics.memo_hits += 1
+                        return plan
+                    metrics.memo_bound_hits += 1
+                    return None
+            elif entry.lower_bound is not None and budget <= entry.lower_bound:
+                metrics.memo_bound_hits += 1
+                return None
+        if subset & (subset - 1) == 0:
+            plan = self._calc_best_scan_budgeted(subset, order, budget)
+        else:
+            plan = self._calc_best_join_budgeted(subset, order, budget, seed)
+        if plan is None:
+            metrics.budget_failures += 1
+            if budget < INFINITY:
+                self.memo.store_lower_bound(self.query, subset, order, budget)
+        else:
+            self.memo.store_plan(self.query, subset, order, plan)
+        return plan
+
+    def _calc_best_scan_budgeted(
+        self, subset: int, order: int | None, budget: float
+    ) -> Plan | None:
+        best: Plan | None = None
+        if order is not None:
+            sort_cost = self.cost_model.sort_cost(self.query, subset)
+            unordered = self._get_best_budgeted(subset, None, budget - sort_cost)
+            if unordered is not None:
+                best = self.cost_model.build_sort(self.query, unordered, order)
+        for scan in self.cost_model.scan_plans(self.query, subset, order):
+            if scan.cost < plan_cost(best) and scan.cost <= budget:
+                best = scan
+        return best
+
+    def _calc_best_join_budgeted(
+        self, subset: int, order: int | None, budget: float, seed: Plan | None
+    ) -> Plan | None:
+        query = self.query
+        cost_model = self.cost_model
+        metrics = self.metrics
+        predicted = Bounding.PREDICTED in self.bounding
+        metrics.note_expansion((subset, order))
+
+        best: Plan | None = None
+        if seed is not None and seed.cost <= budget:
+            best = seed
+        if order is not None:
+            sort_cost = cost_model.sort_cost(query, subset)
+            unordered = self._get_best_budgeted(subset, None, budget - sort_cost)
+            if unordered is not None:
+                sorted_plan = cost_model.build_sort(query, unordered, order)
+                if sorted_plan.cost < plan_cost(best):
+                    best = sorted_plan
+
+        for left, right in self.partition.partitions(query.graph, subset, metrics):
+            metrics.logical_joins_enumerated += 1
+            cap = min(budget, plan_cost(best))
+            if predicted:
+                # Paper Section 4.2: explore only if the lower bound does
+                # not exceed min(B, Cost(BestPlan)).
+                bound = cost_model.lower_bound(query, left, right)
+                if bound > cap:
+                    metrics.predicted_prunes += 1
+                    continue
+            methods = []
+            for method in cost_model.JOIN_METHODS:
+                if order is not None:
+                    produced = cost_model.join_output_order(
+                        query, method, left, right
+                    )
+                    if produced != order:
+                        continue
+                methods.append(
+                    (cost_model.operator_cost(query, method, left, right), method)
+                )
+            if not methods:
+                continue
+            # Algorithm 7 budgets each operator separately; because every
+            # method takes unordered inputs and children return *optimal*
+            # plans, fetching the children once under the cheapest
+            # operator's budget is equivalent (a child that fails the
+            # loosest budget fails them all) and avoids re-deriving the
+            # children per method when the memo cannot absorb it.
+            cheapest = min(cost for cost, _ in methods)
+            remaining = cap - cheapest
+            if remaining < 0:
+                continue
+            left_plan = self._get_best_budgeted(left, None, remaining)
+            if left_plan is None:
+                continue
+            remaining -= left_plan.cost
+            right_plan = self._get_best_budgeted(right, None, remaining)
+            if right_plan is None:
+                continue
+            for operator_cost, method in methods:
+                total = left_plan.cost + right_plan.cost + operator_cost
+                metrics.join_operators_costed += 1
+                if total <= min(budget, plan_cost(best)) and total < plan_cost(best):
+                    best = cost_model.build_join(
+                        query, method, left_plan, right_plan
+                    )
+        return best

@@ -1,0 +1,23 @@
+"""Plan execution: synthetic data and a tuple-at-a-time engine.
+
+The paper stops at plan *costs*; a downstream user also wants to run the
+plans.  This subpackage generates synthetic tables whose join behaviour
+matches the catalog's statistics (each predicate's selectivity is realized
+as a shared key domain of size ``~1/selectivity``) and executes physical
+plan trees with real block-nested-loop, hash, and sort-merge joins.
+
+Its second job is validation: every plan the optimizers produce for the
+same query must yield the *same result set* when executed — an
+end-to-end invariant the test suite checks across algorithms, spaces, and
+plan shapes.
+"""
+
+from repro.exec.datagen import SyntheticDatabase, generate_database
+from repro.exec.engine import ExecutionEngine, execute_plan
+
+__all__ = [
+    "SyntheticDatabase",
+    "generate_database",
+    "ExecutionEngine",
+    "execute_plan",
+]

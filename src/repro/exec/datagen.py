@@ -1,0 +1,105 @@
+"""Synthetic table generation matching a query's statistics.
+
+Each relation becomes a table of row tuples.  For every join predicate
+``(u, v)`` with selectivity ``s`` the two relations share a key column
+whose values are drawn uniformly from a domain of size ``round(1/s)``;
+under independence the expected fraction of matching pairs is then ``s``,
+so executed result sizes track the optimizer's cardinality estimates.
+
+Row counts are the catalog cardinalities scaled down by ``max_rows``
+(executing 5e7-tuple fact tables in pure Python is not the point); the
+scaling preserves *relative* sizes, which is what plan-shape comparisons
+need.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.catalog.query import Query
+
+__all__ = ["SyntheticDatabase", "generate_database"]
+
+
+@dataclass(frozen=True)
+class SyntheticDatabase:
+    """Generated tables for one query.
+
+    ``tables[v]`` is a list of rows; each row is a dict mapping column
+    names to values.  Every row carries ``"_rids"``, a frozenset of
+    (vertex, index) provenance ids, so executed results can be compared as
+    sets of base-row combinations regardless of plan shape.
+    ``key_column(u, v)`` names the shared join column of edge ``(u, v)``.
+    """
+
+    query: Query
+    tables: tuple[tuple[dict, ...], ...]
+    domains: dict[tuple[int, int], int]
+
+    @staticmethod
+    def key_column(u: int, v: int) -> str:
+        """Name of the shared join-key column of edge ``(u, v)``."""
+        a, b = (u, v) if u < v else (v, u)
+        return f"k_{a}_{b}"
+
+    def row_count(self, v: int) -> int:
+        """Number of generated rows in relation ``v``."""
+        return len(self.tables[v])
+
+
+def generate_database(
+    query: Query,
+    rng: random.Random | int | None = None,
+    max_rows: int = 64,
+    min_rows: int = 2,
+    max_domain: int = 10_000,
+) -> SyntheticDatabase:
+    """Generate tables whose join selectivities approximate the catalog's.
+
+    Cardinalities are scaled so the largest relation has ``max_rows`` rows
+    (and every relation has at least ``min_rows``).  Key domains are capped
+    at ``max_domain`` so extremely selective predicates still produce a few
+    matches at demo row counts.
+    """
+    if rng is None:
+        rng = random.Random()
+    elif isinstance(rng, int):
+        rng = random.Random(rng)
+    if max_rows < min_rows:
+        raise ValueError("max_rows must be >= min_rows")
+
+    largest = max(r.cardinality for r in query.relations)
+    scale = max_rows / largest if largest > 0 else 1.0
+
+    row_counts = [
+        max(min_rows, min(max_rows, round(r.cardinality * scale)))
+        for r in query.relations
+    ]
+
+    domains: dict[tuple[int, int], int] = {}
+    for (u, v), selectivity in query.selectivity.items():
+        domains[(u, v)] = min(max_domain, max(1, round(1.0 / selectivity)))
+
+    tables = []
+    for vertex in range(query.n):
+        rows = []
+        incident = [edge for edge in domains if vertex in edge]
+        count = row_counts[vertex]
+        for index in range(count):
+            row = {"_rids": frozenset({(vertex, index)})}
+            for edge in incident:
+                domain = domains[edge]
+                if count >= domain:
+                    # Primary-key-like side: cover the whole domain
+                    # round-robin (still uniform, so the realized match
+                    # probability stays 1/domain), guaranteeing that small
+                    # dimension tables are joinable.
+                    value = index % domain
+                else:
+                    value = rng.randrange(domain)
+                row[SyntheticDatabase.key_column(*edge)] = value
+            rows.append(row)
+        tables.append(tuple(rows))
+
+    return SyntheticDatabase(query=query, tables=tuple(tables), domains=domains)

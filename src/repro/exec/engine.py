@@ -1,0 +1,169 @@
+"""A tuple-at-a-time execution engine for physical plan trees.
+
+Executes the three physical join operators with genuinely different
+mechanics — block-nested-loop probing, hash build/probe, and sort-merge
+with group cross-products — plus scans and the sort enforcer.  All three
+joins implement the same logical semantics (equi-join on every predicate
+crossing the two inputs; a cross product when none does), so every plan
+an optimizer produces for a query must execute to the same result set.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.exec.datagen import SyntheticDatabase
+from repro.plans.physical import Plan
+
+__all__ = ["ExecutionEngine", "execute_plan"]
+
+
+class ExecutionEngine:
+    """Executes plans against one :class:`SyntheticDatabase`."""
+
+    def __init__(self, database: SyntheticDatabase) -> None:
+        self.database = database
+        self.query = database.query
+
+    # -- public API --------------------------------------------------------
+
+    def execute(self, plan: Plan) -> list[dict]:
+        """Run ``plan`` and return its output rows."""
+        handler = {
+            "scan": self._run_scan,
+            "iscan": self._run_index_scan,
+            "sort": self._run_sort,
+            "bnl": self._run_block_nested_loop,
+            "hash": self._run_hash_join,
+            "smj": self._run_sort_merge_join,
+        }.get(plan.op)
+        if handler is None:
+            raise ValueError(f"unknown physical operator {plan.op!r}")
+        return handler(plan)
+
+    def result_signature(self, plan: Plan) -> frozenset:
+        """The result as a set of base-row combinations.
+
+        Two plans for the same query are semantically equivalent iff their
+        signatures are equal — the invariant the test suite checks across
+        every enumeration algorithm.
+        """
+        return frozenset(row["_rids"] for row in self.execute(plan))
+
+    # -- operators ------------------------------------------------------------
+
+    def _run_scan(self, plan: Plan) -> list[dict]:
+        vertex = plan.vertices.bit_length() - 1
+        return list(self.database.tables[vertex])
+
+    def _run_index_scan(self, plan: Plan) -> list[dict]:
+        rows = self._run_scan(plan)
+        column = self._order_column(plan.order, plan.vertices)
+        if column is None:
+            return rows
+        return sorted(rows, key=lambda r: r[column])
+
+    def _run_sort(self, plan: Plan) -> list[dict]:
+        rows = self.execute(plan.children[0])
+        column = self._order_column(plan.order, plan.vertices)
+        if column is None:
+            return sorted(rows, key=lambda r: sorted(r["_rids"]))
+        return sorted(rows, key=lambda r: r[column])
+
+    def _run_block_nested_loop(self, plan: Plan) -> list[dict]:
+        left_rows = self.execute(plan.children[0])
+        right_rows = self.execute(plan.children[1])
+        columns = self._crossing_columns(plan)
+        output = []
+        for left in left_rows:  # outer
+            for right in right_rows:  # inner, re-scanned per outer row
+                if all(left[c] == right[c] for c in columns):
+                    output.append(self._merge(left, right))
+        return output
+
+    def _run_hash_join(self, plan: Plan) -> list[dict]:
+        left_rows = self.execute(plan.children[0])
+        right_rows = self.execute(plan.children[1])
+        columns = self._crossing_columns(plan)
+        buckets: dict[tuple, list[dict]] = {}
+        for row in left_rows:  # build on the left input
+            buckets.setdefault(tuple(row[c] for c in columns), []).append(row)
+        output = []
+        for right in right_rows:  # probe with the right input
+            for left in buckets.get(tuple(right[c] for c in columns), ()):
+                output.append(self._merge(left, right))
+        return output
+
+    def _run_sort_merge_join(self, plan: Plan) -> list[dict]:
+        left_rows = self.execute(plan.children[0])
+        right_rows = self.execute(plan.children[1])
+        columns = self._crossing_columns(plan)
+        if not columns:
+            # Pure cross product: merge-join semantics degenerate.
+            return [self._merge(l, r) for l, r in product(left_rows, right_rows)]
+
+        def key(row):
+            return tuple(row[c] for c in columns)
+
+        left_sorted = sorted(left_rows, key=key)
+        right_sorted = sorted(right_rows, key=key)
+        output = []
+        i = j = 0
+        while i < len(left_sorted) and j < len(right_sorted):
+            left_key, right_key = key(left_sorted[i]), key(right_sorted[j])
+            if left_key < right_key:
+                i += 1
+            elif left_key > right_key:
+                j += 1
+            else:
+                i_end = i
+                while i_end < len(left_sorted) and key(left_sorted[i_end]) == left_key:
+                    i_end += 1
+                j_end = j
+                while j_end < len(right_sorted) and key(right_sorted[j_end]) == left_key:
+                    j_end += 1
+                for left in left_sorted[i:i_end]:
+                    for right in right_sorted[j:j_end]:
+                        output.append(self._merge(left, right))
+                i, j = i_end, j_end
+        return output
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _crossing_columns(self, plan: Plan) -> list[str]:
+        """Key columns of every predicate crossing the join's inputs."""
+        left = plan.children[0].vertices
+        right = plan.children[1].vertices
+        columns = []
+        for (u, v) in self.query.selectivity:
+            u_left = left >> u & 1
+            v_left = left >> v & 1
+            u_right = right >> u & 1
+            v_right = right >> v & 1
+            if (u_left and v_right) or (u_right and v_left):
+                columns.append(SyntheticDatabase.key_column(u, v))
+        return sorted(columns)
+
+    def _order_column(self, order: int | None, vertices: int) -> str | None:
+        """Column realizing an order token (sorted on relation ``order``)."""
+        if order is None:
+            return None
+        for (u, v) in sorted(self.query.selectivity):
+            if order in (u, v) and vertices >> u & 1 and vertices >> v & 1:
+                return SyntheticDatabase.key_column(u, v)
+        for (u, v) in sorted(self.query.selectivity):
+            if order in (u, v):
+                return SyntheticDatabase.key_column(u, v)
+        return None
+
+    @staticmethod
+    def _merge(left: dict, right: dict) -> dict:
+        merged = dict(left)
+        merged.update(right)
+        merged["_rids"] = left["_rids"] | right["_rids"]
+        return merged
+
+
+def execute_plan(plan: Plan, database: SyntheticDatabase) -> list[dict]:
+    """One-shot convenience wrapper around :class:`ExecutionEngine`."""
+    return ExecutionEngine(database).execute(plan)

@@ -1,0 +1,141 @@
+"""Shared infrastructure for the experiment drivers."""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Any, Callable, Sequence
+
+from repro.core.joingraph import JoinGraph
+from repro.workloads import (
+    chain,
+    clique,
+    cycle,
+    random_connected_graph,
+    star,
+    wheel,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "graph_maker",
+    "mean_over_seeds",
+    "time_call",
+]
+
+#: Base seed so every experiment is reproducible run-to-run.
+BASE_SEED = 20070611  # SIGMOD'07 started June 11, 2007
+
+
+@dataclass
+class ExperimentResult:
+    """Structured result of one experiment: the series the paper plots.
+
+    ``columns`` names the fields of each row dict in display order;
+    ``notes`` records scaling substitutions and shape conclusions.
+    """
+
+    experiment_id: str
+    title: str
+    columns: list[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        """Append one row (keyword arguments keyed by column name)."""
+        self.rows.append(values)
+
+    def column(self, name: str) -> list[Any]:
+        """Extract one column across rows (None cells skipped by callers)."""
+        return [row.get(name) for row in self.rows]
+
+    def to_json(self) -> str:
+        """Machine-readable dump (id, title, columns, rows, notes)."""
+        import json
+
+        return json.dumps(
+            {
+                "experiment_id": self.experiment_id,
+                "title": self.title,
+                "columns": self.columns,
+                "rows": self.rows,
+                "notes": self.notes,
+            },
+            indent=2,
+            default=str,
+        )
+
+    def render(self) -> str:
+        """Aligned text table with the experiment header and notes."""
+
+        def fmt(value: Any) -> str:
+            if value is None:
+                return "-"
+            if isinstance(value, float):
+                if value == 0:
+                    return "0"
+                if abs(value) >= 1e5 or abs(value) < 1e-3:
+                    return f"{value:.3g}"
+                return f"{value:.4g}"
+            return str(value)
+
+        header = [self.columns]
+        body = [[fmt(row.get(c)) for c in self.columns] for row in self.rows]
+        widths = [
+            max(len(line[i]) for line in header + body)
+            for i in range(len(self.columns))
+        ]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append("  ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for line in body:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(line, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def graph_maker(topology: str) -> Callable[..., JoinGraph]:
+    """Resolve a topology name to its constructor.
+
+    ``random-acyclic`` / ``random-cyclic`` take ``(n, seed)``; the fixed
+    shapes take ``(n)`` (seed ignored).
+    """
+    fixed = {"chain": chain, "star": star, "cycle": cycle, "clique": clique, "wheel": wheel}
+    if topology in fixed:
+        make = fixed[topology]
+        return lambda n, seed=0: make(n)
+    if topology == "random-acyclic":
+        return lambda n, seed=0: random_connected_graph(n, 0.0, seed)
+    if topology == "random-cyclic":
+        return lambda n, seed=0: random_connected_graph(n, 0.4, seed)
+    raise ValueError(f"unknown topology {topology!r}")
+
+
+def seed_for(*components: int) -> int:
+    """Derive a reproducible seed from experiment coordinates."""
+    value = BASE_SEED
+    for component in components:
+        value = value * 1_000_003 + component + 1
+    return value & 0x7FFFFFFF
+
+
+def time_call(fn: Callable[[], Any]) -> tuple[float, Any]:
+    """Run ``fn`` once and return (elapsed seconds, result)."""
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def mean_over_seeds(
+    seeds: Sequence[int], fn: Callable[[int], float]
+) -> float:
+    """Mean of ``fn(seed)`` over the given seeds."""
+    return mean(fn(s) for s in seeds)
+
+
+def fresh_rng(seed: int) -> random.Random:
+    """A dedicated random.Random for the given seed."""
+    return random.Random(seed)

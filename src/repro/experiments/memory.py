@@ -1,0 +1,131 @@
+"""Figures 21–30: the CPU/storage trade-off of memory-bounded memo tables.
+
+Section 5.1: the four left-deep algorithms (TLNMC and its A/P/AP bounded
+variants) are re-run with an LRU-evicting memo capped at 100 %, 25 %,
+10 %, 5 %, 1 %, and 0 % of the cells that exhaustive enumeration of the
+same star query populates.  Figures 21–24 group the series by algorithm
+(execution time vs. storage, normalized by unbounded TLNMC); Figures
+25–30 regroup the same data by storage threshold (each algorithm
+normalized by exhaustive TLNMC at that threshold).
+
+Paper shapes: storage reduction costs exponentially more recomputation;
+predicted-cost bounding gains on exhaustive down to ~10 % and then
+flattens; accumulated-cost bounding improves steadily as storage shrinks
+because the interference between budgets and memoization fades, until at
+0 % it dominates everything (Figure 30).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from statistics import mean
+
+from repro.analysis.metrics import Metrics
+from repro.experiments.common import ExperimentResult, seed_for, time_call
+from repro.memo import MemoTable
+from repro.registry import make_optimizer
+from repro.workloads.topologies import star
+from repro.workloads.weights import weighted_query
+
+__all__ = ["run_fig21_24_tradeoff", "run_fig25_30_by_threshold"]
+
+THRESHOLDS = (1.0, 0.25, 0.10, 0.05, 0.01, 0.0)
+_SUFFIXES = ("", "A", "P", "AP")
+BASE = "TLNmc"
+
+
+def required_cells(n: int, seed: int) -> int:
+    """Memo cells populated by exhaustive TLNMC on one weighted star query.
+
+    The paper precomputes this from Ono & Lohman's formulas; a dry run
+    gives the identical number and works for any topology.
+    """
+    query = weighted_query(star(n), seed)
+    optimizer = make_optimizer(BASE, query)
+    optimizer.optimize()
+    return optimizer.memo.populated_cells()
+
+
+@lru_cache(maxsize=4)
+def _measure_grid(scale: str):
+    """Time every (algorithm, n, threshold, seed) cell once.
+
+    Returns ``(sizes, samples)`` with
+    ``samples[(suffix, n, threshold)] = mean milliseconds``.
+    """
+    # Low thresholds recompute exponentially by design, so the grid stays
+    # deliberately small (the 0 % point on a 10-relation star already
+    # takes minutes per seed in pure Python).
+    sizes = [6, 8] if scale == "small" else [6, 8, 9]
+    seeds = 3 if scale == "small" else 5
+    samples: dict[tuple[str, int, float], float] = {}
+    for n in sizes:
+        for suffix in _SUFFIXES:
+            for threshold in THRESHOLDS:
+                times = []
+                for s in range(seeds):
+                    seed = seed_for(n, s, 31)
+                    query = weighted_query(star(n), seed)
+                    capacity = round(threshold * required_cells(n, seed))
+                    metrics = Metrics()
+                    memo = MemoTable(capacity=capacity, metrics=metrics)
+                    optimizer = make_optimizer(
+                        BASE + suffix, query, memo=memo, metrics=metrics
+                    )
+                    elapsed, _ = time_call(optimizer.optimize)
+                    times.append(elapsed * 1e3)
+                samples[(suffix, n, threshold)] = mean(times)
+    return sizes, samples
+
+
+def run_fig21_24_tradeoff(scale: str = "small") -> ExperimentResult:
+    """Figures 21–24: one series per algorithm, normalized by TLNMC@100%."""
+    sizes, samples = _measure_grid(scale)
+    columns = ["algorithm", "n"] + [f"{int(t * 100)}%" for t in THRESHOLDS]
+    result = ExperimentResult(
+        "fig21-24", "CPU-Storage Trade-off (normalized by unbounded TLNMC)", columns
+    )
+    for suffix in _SUFFIXES:
+        label = BASE + suffix
+        for n in sizes:
+            base_ms = samples[("", n, 1.0)]
+            row = {"algorithm": label, "n": n}
+            for threshold in THRESHOLDS:
+                row[f"{int(threshold * 100)}%"] = (
+                    samples[(suffix, n, threshold)] / base_ms
+                )
+            result.add_row(**row)
+    result.notes.append(
+        "expect: every algorithm's cost grows as storage shrinks; the "
+        "growth is steepest for exhaustive TLNMC"
+    )
+    return result
+
+
+def run_fig25_30_by_threshold(scale: str = "small") -> ExperimentResult:
+    """Figures 25–30: same data regrouped by threshold.
+
+    Each algorithm is normalized by exhaustive TLNMC *at the same
+    threshold*, reproducing the per-figure comparisons.
+    """
+    sizes, samples = _measure_grid(scale)
+    columns = ["threshold", "n", "exh_ms", "A_rel", "P_rel", "AP_rel"]
+    result = ExperimentResult(
+        "fig25-30", "Star Queries by Storage Threshold", columns
+    )
+    for threshold in THRESHOLDS:
+        for n in sizes:
+            base_ms = samples[("", n, threshold)]
+            result.add_row(
+                threshold=f"{int(threshold * 100)}%",
+                n=n,
+                exh_ms=base_ms,
+                A_rel=samples[("A", n, threshold)] / base_ms,
+                P_rel=samples[("P", n, threshold)] / base_ms,
+                AP_rel=samples[("AP", n, threshold)] / base_ms,
+            )
+    result.notes.append(
+        "expect: at 100% P wins and A suffers budget/memo interference; "
+        "as storage shrinks A improves steadily and dominates at 0-1%"
+    )
+    return result

@@ -1,0 +1,250 @@
+"""Memo tables: plain, budget-aware, memory-bounded, and cross-query.
+
+Section 5.1 observes that top-down partitioning search uses the memo as a
+*cache* rather than a table of guaranteed reads: bottom-up dynamic
+programming fails if an entry disappears, whereas partitioning search
+simply recomputes it.  :class:`MemoTable` therefore supports an optional
+cell capacity with LRU eviction (the CPU/storage trade-off experiments of
+Figures 21–30), and :class:`GlobalPlanCache` keys entries by canonical
+logical expression so plans survive across queries (the ``Q1``/``Q2``
+example of Section 5.1).
+
+A populated cell stores either an optimal :class:`~repro.plans.physical.Plan`
+or — for accumulated-cost bounding (Algorithm 7) — a *lower bound*: the
+largest budget that already failed for the expression, letting future
+invocations return failure immediately when their budget is no larger.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+from repro.analysis.metrics import Metrics
+from repro.catalog.query import Query
+from repro.plans.physical import Plan
+
+__all__ = ["MemoEntry", "MemoTable", "GlobalPlanCache", "canonical_expression_key"]
+
+
+@dataclass
+class MemoEntry:
+    """One populated memo cell: an optimal plan or a failed-budget bound."""
+
+    plan: Optional[Plan] = None
+    lower_bound: Optional[float] = None
+
+    @property
+    def has_plan(self) -> bool:
+        """True iff the cell stores a plan (not just a lower bound)."""
+        return self.plan is not None
+
+
+class MemoTable:
+    """Constant-time lookup by logical expression with optional capacity.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of populated cells, or ``None`` for unbounded.
+        ``0`` disables storage entirely (every expression is recomputed on
+        demand — the "0 %" point of Figure 30).
+    metrics:
+        Optional counter sink for evictions and peak occupancy.
+    policy:
+        Eviction policy when over capacity.  ``"lru"`` (the paper's
+        experiments) evicts the least-recently-used cell; ``"smallest"``
+        implements Section 5.1's suggestion of weighting eviction by the
+        logical description — the smallest expression is evicted first,
+        since small expressions are the cheapest to recompute.
+    """
+
+    POLICIES = ("lru", "smallest")
+
+    def __init__(
+        self,
+        capacity: int | None = None,
+        metrics: Metrics | None = None,
+        policy: str = "lru",
+    ) -> None:
+        if capacity is not None and capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        if policy not in self.POLICIES:
+            raise ValueError(f"unknown eviction policy {policy!r}")
+        self.capacity = capacity
+        self.metrics = metrics
+        self.policy = policy
+        self._cells: OrderedDict[Hashable, MemoEntry] = OrderedDict()
+
+    def _evict_one(self) -> None:
+        """Remove one cell according to the eviction policy."""
+        if self.policy == "smallest":
+            victim = min(self._cells, key=self._cell_weight)
+            del self._cells[victim]
+        else:
+            self._cells.popitem(last=False)
+        if self.metrics is not None:
+            self.metrics.memo_evictions += 1
+
+    @staticmethod
+    def _cell_weight(key: Hashable) -> tuple:
+        """Recomputation-cost proxy for the ``smallest`` policy."""
+        if isinstance(key, tuple) and key and isinstance(key[0], int):
+            return (key[0].bit_count(), key[0])
+        return (0, 0)
+
+    # -- keying (overridden by GlobalPlanCache) --------------------------------
+
+    def key_for(self, query: Query, subset: int, order: int | None) -> Hashable:
+        """Map a (query, expression, order) triple to a cell key."""
+        return (subset, order)
+
+    def plan_for_query(self, query: Query, entry: MemoEntry) -> Optional[Plan]:
+        """Return the entry's plan expressed in ``query``'s vertex numbering."""
+        return entry.plan
+
+    # -- access ------------------------------------------------------------------
+
+    def get(self, query: Query, subset: int, order: int | None) -> Optional[MemoEntry]:
+        """Look up a cell, refreshing its LRU position."""
+        key = self.key_for(query, subset, order)
+        entry = self._cells.get(key)
+        if entry is not None and self.capacity is not None:
+            self._cells.move_to_end(key)
+        return entry
+
+    def store_plan(
+        self, query: Query, subset: int, order: int | None, plan: Plan
+    ) -> None:
+        """Store an optimal plan, evicting LRU cells if over capacity."""
+        self._store(self.key_for(query, subset, order), MemoEntry(plan=plan))
+
+    def store_lower_bound(
+        self, query: Query, subset: int, order: int | None, bound: float
+    ) -> None:
+        """Record that no plan with cost <= ``bound`` exists (Algorithm 7).
+
+        Keeps the largest failed budget if a bound is already present.
+        """
+        key = self.key_for(query, subset, order)
+        existing = self._cells.get(key)
+        if existing is not None and existing.lower_bound is not None:
+            bound = max(bound, existing.lower_bound)
+        self._store(key, MemoEntry(lower_bound=bound))
+
+    def _store(self, key: Hashable, entry: MemoEntry) -> None:
+        if self.capacity == 0:
+            return
+        if key in self._cells:
+            self._cells[key] = entry
+            if self.capacity is not None:
+                self._cells.move_to_end(key)
+        else:
+            if self.capacity is not None and len(self._cells) >= self.capacity:
+                self._evict_one()
+            self._cells[key] = entry
+        if self.metrics is not None:
+            self.metrics.peak_memo_cells = max(
+                self.metrics.peak_memo_cells, len(self._cells)
+            )
+
+    # -- statistics -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def populated_cells(self) -> int:
+        """Cells currently storing a plan or a lower bound."""
+        return len(self._cells)
+
+    def plan_cells(self) -> int:
+        """Cells currently storing a plan (the "(p)" series of Figure 13)."""
+        return sum(1 for e in self._cells.values() if e.has_plan)
+
+    def bound_cells(self) -> int:
+        """Cells currently storing only a lower bound."""
+        return sum(1 for e in self._cells.values() if not e.has_plan)
+
+    def clear(self) -> None:
+        """Drop every cell."""
+        self._cells.clear()
+
+
+def canonical_expression_key(
+    query: Query, subset: int, order: int | None
+) -> Hashable:
+    """Canonical representation of a logical expression (Section 5.1).
+
+    Keys by the *names and statistics* of the relations plus the internal
+    predicate signature, so that the same logical expression appearing in
+    two different queries (possibly under different vertex numberings)
+    maps to the same cell.  The order token is translated to the relation
+    name it refers to.
+    """
+    names = []
+    for v in range(query.n):
+        if subset >> v & 1:
+            r = query.relations[v]
+            names.append((r.name, r.cardinality, r.tuples_per_page))
+    predicates = []
+    for (u, v), sel in query.selectivity.items():
+        if subset >> u & 1 and subset >> v & 1:
+            a, b = query.relations[u].name, query.relations[v].name
+            if a > b:
+                a, b = b, a
+            predicates.append((a, b, sel))
+    order_name = None if order is None else query.relations[order].name
+    return (frozenset(names), frozenset(predicates), order_name)
+
+
+class GlobalPlanCache(MemoTable):
+    """A memo shared between queries, keyed by canonical expression.
+
+    Plans are stored with the relation-name → vertex mapping of the query
+    that produced them; on retrieval by a different query, the plan is
+    relabelled into the reader's vertex numbering.  Top-down partitioning
+    search tolerates missing or evicted cells, so the cache can use any
+    eviction policy (here: the same LRU as :class:`MemoTable`).
+    """
+
+    def __init__(
+        self, capacity: int | None = None, metrics: Metrics | None = None
+    ) -> None:
+        super().__init__(capacity=capacity, metrics=metrics)
+        self._name_maps: dict[Hashable, dict[str, int]] = {}
+
+    def key_for(self, query: Query, subset: int, order: int | None) -> Hashable:
+        """Key by canonical logical expression (relation names + predicates)."""
+        return canonical_expression_key(query, subset, order)
+
+    def store_plan(
+        self, query: Query, subset: int, order: int | None, plan: Plan
+    ) -> None:
+        """Store a plan along with the writer's name -> vertex mapping."""
+        key = self.key_for(query, subset, order)
+        self._name_maps[key] = {
+            query.relations[v].name: v for v in range(query.n) if subset >> v & 1
+        }
+        self._store(key, MemoEntry(plan=plan))
+
+    def plan_for_query(self, query: Query, entry: MemoEntry) -> Optional[Plan]:
+        """Relabel the stored plan into the reading query's numbering."""
+        if entry.plan is None:
+            return None
+        name_to_reader_vertex = {
+            query.relations[v].name: v for v in range(query.n)
+        }
+        # Writer vertex -> reader vertex, via relation names.
+        mapping: dict[int, int] = {}
+        for node in entry.plan.iter_nodes():
+            if node.is_scan and node.relation is not None:
+                writer_v = node.vertices.bit_length() - 1
+                reader_v = name_to_reader_vertex.get(node.relation)
+                if reader_v is None:
+                    return None  # relation unknown to this query
+                mapping[writer_v] = reader_v
+        try:
+            return entry.plan.relabel(mapping)
+        except KeyError:
+            return None

@@ -1,0 +1,93 @@
+"""Multi-phase optimization (Section 5.2).
+
+Optimize a query iteratively over successively larger search spaces, using
+the optimal plan of each phase as the initial upper bound of the next.
+A bottom-up optimizer gains nothing from a smaller space's optimum (it
+must recalculate everything), but a top-down algorithm with
+branch-and-bound can turn it into pruning: the paper's Table 2 shows the
+first phase paying for itself with roughly a 20 % improvement in the
+second for larger queries.
+
+Correctness note: each phase uses a **fresh memo**.  A memo entry records
+the optimum *within the phase's search space*; reusing entries from a
+smaller space in a larger one would silently return sub-space optima as
+if they were global.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.metrics import Metrics
+from repro.catalog.query import Query
+from repro.cost.io_model import CostModel
+from repro.enumerator import TopDownEnumerator
+from repro.plans.physical import Plan
+from repro.registry import make_optimizer, parse_name
+
+__all__ = ["PhaseResult", "MultiPhaseResult", "optimize_multiphase"]
+
+
+@dataclass(frozen=True)
+class PhaseResult:
+    """Outcome of one optimization phase."""
+
+    algorithm: str
+    plan: Plan
+    metrics: Metrics
+
+
+@dataclass(frozen=True)
+class MultiPhaseResult:
+    """Outcome of a full multi-phase run."""
+
+    phases: tuple[PhaseResult, ...]
+
+    @property
+    def plan(self) -> Plan:
+        """The final (largest-space) optimal plan."""
+        return self.phases[-1].plan
+
+    @property
+    def total_metrics(self) -> Metrics:
+        """Counters accumulated across every phase."""
+        combined = Metrics()
+        for phase in self.phases:
+            combined.merge(phase.metrics)
+        return combined
+
+
+def optimize_multiphase(
+    query: Query,
+    algorithms: list[str],
+    cost_model: CostModel | None = None,
+) -> MultiPhaseResult:
+    """Run ``algorithms`` in sequence, seeding each with the previous optimum.
+
+    ``algorithms`` lists registry names from smallest to largest search
+    space, e.g. ``["TLNmcP", "TLCnaiveP"]`` for the paper's two-phase
+    left-deep strategy.  Each phase after the first must be top-down (only
+    top-down search can exploit the seed).  The final plan is optimal for
+    the last phase's space and never worse than any earlier phase.
+    """
+    if not algorithms:
+        raise ValueError("need at least one phase")
+    cost_model = cost_model if cost_model is not None else CostModel()
+    phases: list[PhaseResult] = []
+    incumbent: Plan | None = None
+    for position, name in enumerate(algorithms):
+        parse_name(name)  # fail fast on typos
+        metrics = Metrics()
+        optimizer = make_optimizer(name, query, cost_model, metrics=metrics)
+        if isinstance(optimizer, TopDownEnumerator):
+            plan = optimizer.optimize(initial_plan=incumbent)
+        else:
+            if position > 0:
+                raise ValueError(
+                    f"phase {position} ({name}): bottom-up algorithms cannot "
+                    "exploit a seed plan; use a top-down phase"
+                )
+            plan = optimizer.optimize()
+        phases.append(PhaseResult(algorithm=name, plan=plan, metrics=metrics))
+        incumbent = plan
+    return MultiPhaseResult(phases=tuple(phases))

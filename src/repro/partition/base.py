@@ -1,0 +1,41 @@
+"""Partition strategy interface and plan-space descriptors."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterator
+
+from repro.analysis.metrics import Metrics
+from repro.core.joingraph import JoinGraph
+from repro.spaces import PlanSpace
+
+__all__ = ["PartitionStrategy", "PlanSpace"]
+
+
+class PartitionStrategy(ABC):
+    """Abstract ``Partition`` function plugged into Algorithm 1.
+
+    Subclasses set :attr:`name` (the paper's algorithm-family label) and
+    :attr:`space`, and implement :meth:`partitions`.
+
+    Contract: ``partitions(graph, subset, metrics)`` yields ordered pairs
+    ``(left, right)`` of non-empty disjoint masks whose union is ``subset``.
+    For CP-free spaces the caller guarantees ``subset`` induces a connected
+    subgraph, and every yielded side must do so too.  Every join operator of
+    the space must correspond to exactly one yielded pair (the paper counts
+    ``A ⋈ B`` and ``B ⋈ A`` separately; bushy strategies therefore emit both
+    orientations of each cut, while left-deep strategies emit one pair per
+    removable relation).
+    """
+
+    name: str = "abstract"
+    space: PlanSpace
+
+    @abstractmethod
+    def partitions(
+        self, graph: JoinGraph, subset: int, metrics: Metrics
+    ) -> Iterator[tuple[int, int]]:
+        """Yield the ordered partitions of ``subset``."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(space={self.space.describe()!r})"

@@ -1,0 +1,135 @@
+"""Minimal-cut partitioning with lazily rebuilt biconnection trees.
+
+Algorithm 4 (``MinCutLazy``) of the paper, tuned from Provan & Shier's
+(s,t)-cut paradigm: maintain disjoint connected sets ``S`` (the growing
+side of the cut) and ``T`` (vertices already tried in sibling branches,
+seeded with an arbitrary anchor ``t``).  Each recursive invocation emits
+one minimal cut — the two ordered partitions ``(S, V\\S)`` and
+``(V\\S, S)`` — and extends ``S`` by each *pivot*: a neighbour of ``S``
+outside ``S ∪ T`` that is maximally distant from ``t`` in the biconnection
+tree.  Extending by the pivot's full descendant set ``D_T(v)`` guarantees
+that the complement stays connected, so no connectivity test is needed.
+
+The headline optimization is laziness: the parent invocation's tree
+``T_old`` is reused whenever the conservative usability test of Algorithm 5
+passes, so acyclic graphs build exactly one tree for the whole enumeration.
+``MinCutEager`` is the same algorithm with reuse disabled (a fresh tree per
+invocation), as used for the baseline in Figures 2–5.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.analysis.metrics import Metrics
+from repro.core.biconnection import BiconnectionTree, build_bcc_tree
+from repro.core.joingraph import JoinGraph
+from repro.partition.base import PartitionStrategy, PlanSpace
+
+__all__ = ["MinCutEager", "MinCutLazy"]
+
+
+class MinCutLazy(PartitionStrategy):
+    """Algorithm 4: minimal cuts with lazy biconnection-tree reuse.
+
+    Parameters
+    ----------
+    size3_tweak:
+        Apply footnote 2's refinement of the usability test (avoids false
+        negatives for biconnected components of size three).  Off by
+        default to match Algorithm 5 exactly.
+    anchor:
+        Optionally fix the seed vertex ``t`` (used when it lies in the
+        partitioned subset); defaults to the lowest-numbered vertex.  The
+        anchor never changes the cuts emitted, only the tree-reuse rate.
+    """
+
+    name = "mc"
+    space = PlanSpace.bushy_cp_free()
+    reuse_trees = True
+
+    def __init__(self, size3_tweak: bool = False, anchor: int | None = None) -> None:
+        self.size3_tweak = size3_tweak
+        self.anchor = anchor
+
+    def partitions(
+        self, graph: JoinGraph, subset: int, metrics: Metrics
+    ) -> Iterator[tuple[int, int]]:
+        """Yield both orientations of every minimal cut of ``subset``."""
+        if subset & (subset - 1) == 0:
+            return  # singletons have no binary partitions
+        if self.anchor is not None and subset >> self.anchor & 1:
+            anchor = self.anchor
+        else:
+            anchor = (subset & -subset).bit_length() - 1
+        yield from self._mincut(graph, subset, anchor, 0, 1 << anchor, None, metrics)
+
+    def _mincut(
+        self,
+        graph: JoinGraph,
+        subset: int,
+        anchor: int,
+        s: int,
+        t: int,
+        tree_old: BiconnectionTree | None,
+        metrics: Metrics,
+    ) -> Iterator[tuple[int, int]]:
+        """Recursive body of Algorithm 4 over ``G|_subset``.
+
+        ``s`` and ``t`` are the bitmaps of the sets the paper calls ``S``
+        and ``T``; ``anchor`` is the seed vertex of ``T``.
+        """
+        rest = subset & ~s
+        if s:
+            metrics.partitions_emitted += 2
+            yield (s, rest)
+            yield (rest, s)
+
+        # N(S), with the paper's convention N(∅) = V \ {t}.
+        if s:
+            neighbourhood = graph.neighbors_of_set(s, within=subset) & ~s
+        else:
+            neighbourhood = subset & ~(1 << anchor)
+        if neighbourhood & ~t == 0:
+            return  # S cannot be extended
+
+        tree = None
+        if tree_old is not None and self.reuse_trees:
+            metrics.usability_tests += 1
+            if tree_old.is_usable_for(rest, size3_tweak=self.size3_tweak):
+                metrics.usability_hits += 1
+                tree = tree_old
+        if tree is None:
+            tree = build_bcc_tree(graph, rest, anchor)
+            metrics.bcc_trees_built += 1
+
+        # Pivot set P: neighbours of S outside S ∪ T whose subtree contains
+        # no other neighbour of S (maximally distant from the anchor).
+        blocked = s | t
+        pivots = []
+        candidates = neighbourhood & ~blocked
+        remaining = candidates
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            v = low.bit_length() - 1
+            if tree.desc(v, within=rest) & neighbourhood == low:
+                pivots.append(v)
+
+        t_prime = t
+        for v in pivots:
+            extension = tree.desc(v, within=rest)
+            yield from self._mincut(
+                graph, subset, anchor, s | extension, t_prime, tree, metrics
+            )
+            t_prime |= tree.anc(v, within=rest)
+
+
+class MinCutEager(MinCutLazy):
+    """Algorithm 4 with tree reuse disabled: build a tree per invocation.
+
+    This is the paper's ``MinCutEager`` baseline, essentially Provan &
+    Shier's original Theta(|E|)-per-cut behaviour.
+    """
+
+    reuse_trees = False

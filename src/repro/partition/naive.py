@@ -1,0 +1,131 @@
+"""Naive partitioning strategies (Section 3.2, Algorithm 2).
+
+"Naive" means the strategy ignores the edges of the join graph when
+generating candidate partitions, and — for CP-free spaces — discards
+invalid candidates with explicit connectivity tests (generate-and-test).
+As the paper shows, this is optimal for spaces *containing* cartesian
+products but suboptimal (by up to an exponential factor, for bushy CP-free
+spaces over sparse graphs) when cartesian products are excluded.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.analysis.metrics import Metrics
+from repro.core.bitset import iter_subsets
+from repro.core.joingraph import JoinGraph
+from repro.partition.base import PartitionStrategy, PlanSpace
+
+__all__ = [
+    "NaiveBushyCP",
+    "NaiveBushyCPFree",
+    "NaiveLeftDeepCP",
+    "NaiveLeftDeepCPFree",
+]
+
+
+class NaiveLeftDeepCP(PartitionStrategy):
+    """Algorithm 2 verbatim: peel off each relation in turn.
+
+    Emits ``|V|`` partitions per invocation at Theta(|V|) total cost, which
+    is optimal for left-deep trees with cartesian products.
+    """
+
+    name = "naive"
+    space = PlanSpace.left_deep_with_cp()
+
+    def partitions(
+        self, graph: JoinGraph, subset: int, metrics: Metrics
+    ) -> Iterator[tuple[int, int]]:
+        """Yield the partitions of ``subset`` (see class docs)."""
+        if subset & (subset - 1) == 0:
+            return  # singletons have no binary partitions
+        remaining = subset
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            metrics.partitions_emitted += 1
+            yield (subset ^ low, low)
+
+
+class NaiveLeftDeepCPFree(PartitionStrategy):
+    """Algorithm 2 plus a connectivity test on the residual set.
+
+    The added test raises the per-invocation cost to Theta(|V|^2) while the
+    number of surviving partitions can be as low as two (chains), so the
+    resulting search algorithm is a linear factor worse than optimal.
+    """
+
+    name = "naive"
+    space = PlanSpace.left_deep_cp_free()
+
+    def partitions(
+        self, graph: JoinGraph, subset: int, metrics: Metrics
+    ) -> Iterator[tuple[int, int]]:
+        """Yield the partitions of ``subset`` (see class docs)."""
+        if subset & (subset - 1) == 0:
+            return  # singletons have no binary partitions
+        remaining = subset
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            rest = subset ^ low
+            metrics.connectivity_tests += 1
+            if graph.is_connected(rest):
+                metrics.partitions_emitted += 1
+                yield (rest, low)
+            else:
+                metrics.failed_connectivity_tests += 1
+
+
+class NaiveBushyCP(PartitionStrategy):
+    """All non-empty strict subsets of ``V`` (Section 3.2, bushy case).
+
+    Emits ``2^|V| - 2`` ordered partitions at Theta(2^|V|) total cost,
+    which is optimal for bushy trees with cartesian products.
+    """
+
+    name = "naive"
+    space = PlanSpace.bushy_with_cp()
+
+    def partitions(
+        self, graph: JoinGraph, subset: int, metrics: Metrics
+    ) -> Iterator[tuple[int, int]]:
+        """Yield the partitions of ``subset`` (see class docs)."""
+        if subset & (subset - 1) == 0:
+            return  # singletons have no binary partitions
+        for left in iter_subsets(subset, proper=True):
+            metrics.partitions_emitted += 1
+            yield (left, subset ^ left)
+
+
+class NaiveBushyCPFree(PartitionStrategy):
+    """All strict subsets with two connectivity tests (generate-and-test).
+
+    Per-invocation cost Theta(|V| * 2^|V|) while the number of valid
+    partitions can be as small as ``|V| - 1`` (acyclic graphs): the source
+    of the exponential suboptimality that minimal-cut partitioning repairs.
+    """
+
+    name = "naive"
+    space = PlanSpace.bushy_cp_free()
+
+    def partitions(
+        self, graph: JoinGraph, subset: int, metrics: Metrics
+    ) -> Iterator[tuple[int, int]]:
+        """Yield the partitions of ``subset`` (see class docs)."""
+        if subset & (subset - 1) == 0:
+            return  # singletons have no binary partitions
+        for left in iter_subsets(subset, proper=True):
+            right = subset ^ left
+            metrics.connectivity_tests += 1
+            if not graph.is_connected(left):
+                metrics.failed_connectivity_tests += 1
+                continue
+            metrics.connectivity_tests += 1
+            if not graph.is_connected(right):
+                metrics.failed_connectivity_tests += 1
+                continue
+            metrics.partitions_emitted += 1
+            yield (left, right)

@@ -1,0 +1,19 @@
+"""Physical plan representation and validation."""
+
+from repro.plans.physical import Plan, plan_cost, INFINITY
+from repro.plans.validate import (
+    PlanValidationError,
+    is_left_deep,
+    plan_contains_cartesian_product,
+    validate_plan,
+)
+
+__all__ = [
+    "Plan",
+    "plan_cost",
+    "INFINITY",
+    "PlanValidationError",
+    "is_left_deep",
+    "plan_contains_cartesian_product",
+    "validate_plan",
+]

@@ -1,0 +1,135 @@
+"""Structural and semantic plan validation.
+
+Used pervasively by the test suite: every enumeration algorithm's output
+must cover exactly the query's relations, respect its declared plan space
+(left-deep shape, cartesian-product freedom), and carry internally
+consistent costs and cardinalities.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.catalog.query import Query
+from repro.plans.physical import Plan
+from repro.spaces import PlanSpace
+
+__all__ = [
+    "PlanValidationError",
+    "is_left_deep",
+    "plan_contains_cartesian_product",
+    "validate_plan",
+]
+
+#: Relative tolerance for float cost/cardinality comparisons.
+RELATIVE_TOLERANCE = 1e-9
+
+
+class PlanValidationError(AssertionError):
+    """Raised when a plan violates a structural or semantic invariant."""
+
+
+def is_left_deep(plan: Plan) -> bool:
+    """True iff every join's right input is a base-relation scan.
+
+    Sort enforcers are transparent: a sorted scan still counts as a base
+    input, and a sort on top of a left-deep tree stays left-deep.
+    """
+    if plan.op == "sort":
+        return is_left_deep(plan.children[0])
+    if plan.is_scan:
+        return True
+    right = plan.right
+    while right is not None and right.op == "sort":
+        right = right.children[0]
+    if right is None or not right.is_scan:
+        return False
+    return is_left_deep(plan.left)
+
+
+def plan_contains_cartesian_product(plan: Plan, query: Query) -> bool:
+    """True iff some join in the plan has no predicate across its inputs."""
+    for node in plan.iter_nodes():
+        if node.is_join:
+            left, right = node.children
+            if not query.graph.connects(left.vertices, right.vertices):
+                return True
+    return False
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise PlanValidationError(message)
+
+
+def validate_plan(
+    plan: Plan,
+    query: Query,
+    space: PlanSpace | None = None,
+    *,
+    expected_vertices: int | None = None,
+) -> None:
+    """Validate ``plan`` against ``query`` (and optionally a plan space).
+
+    Checks, recursively:
+
+    * the plan covers exactly ``expected_vertices`` (default: all of them);
+    * join children partition the parent's vertex set;
+    * cardinalities match the query's estimator;
+    * cumulative cost is non-negative, finite, and at least the children's;
+    * if ``space`` is given: left-deep shape and/or CP-freedom.
+
+    Raises :class:`PlanValidationError` on the first violation.
+    """
+    target = query.graph.all_vertices if expected_vertices is None else expected_vertices
+    _check(
+        plan.vertices == target,
+        f"plan covers {plan.vertices:#x}, expected {target:#x}",
+    )
+    for node in plan.iter_nodes():
+        _check(node.vertices != 0, "node with empty vertex set")
+        _check(
+            math.isfinite(node.cost) and node.cost >= 0,
+            f"node {node.op} has invalid cost {node.cost}",
+        )
+        estimated = query.cardinality(node.vertices)
+        _check(
+            math.isclose(node.cardinality, estimated, rel_tol=RELATIVE_TOLERANCE),
+            f"node {node.op} cardinality {node.cardinality} != estimate {estimated}",
+        )
+        if node.is_join:
+            left, right = node.children
+            _check(
+                left.vertices & right.vertices == 0,
+                "join children overlap",
+            )
+            _check(
+                left.vertices | right.vertices == node.vertices,
+                "join children do not partition the parent",
+            )
+            _check(
+                node.cost + RELATIVE_TOLERANCE * max(1.0, node.cost)
+                >= left.cost + right.cost,
+                f"join cost {node.cost} below children {left.cost + right.cost}",
+            )
+        elif node.op == "sort":
+            _check(len(node.children) == 1, "sort must have one child")
+            _check(
+                node.children[0].vertices == node.vertices,
+                "sort changes the vertex set",
+            )
+        else:
+            _check(node.is_scan, f"unexpected operator {node.op} with children")
+            _check(
+                node.vertices & (node.vertices - 1) == 0,
+                "scan over more than one relation",
+            )
+
+    if space is not None:
+        if space.is_left_deep:
+            _check(is_left_deep(plan), "plan is not left-deep")
+        if not space.allows_cartesian_products:
+            _check(
+                not plan_contains_cartesian_product(plan, query),
+                "plan contains a cartesian product",
+            )

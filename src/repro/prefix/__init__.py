@@ -1,0 +1,20 @@
+"""Prefix search: memory-constrained left-deep enumeration (Section 2.3).
+
+The paper's taxonomy includes the Sybase SQL Anywhere approach [Bowman &
+Paulley]: left-deep join trees abstracted as relation sequences, explored
+by extending prefixes with backtracking.  No dynamic programming or
+memoization is used, so memory is O(n) — at the price of a Θ(n!) search
+space that is tamed only by very aggressive accumulated-cost
+branch-and-bound, which may sacrifice optimality.
+
+:class:`PrefixSearchOptimizer` reproduces both regimes: with
+``aggressiveness=1.0`` the pruning is admissible (a partial plan is
+abandoned only when it already costs as much as the incumbent) and the
+result is optimal; larger factors prune harder and may return suboptimal
+plans, trading plan quality for enumeration speed exactly as Section 2.3
+describes.
+"""
+
+from repro.prefix.search import PrefixSearchOptimizer
+
+__all__ = ["PrefixSearchOptimizer"]

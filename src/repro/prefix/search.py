@@ -1,0 +1,124 @@
+"""Backtracking prefix search over left-deep join sequences."""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import Metrics
+from repro.catalog.query import Query
+from repro.cost.io_model import CostModel
+from repro.plans.physical import INFINITY, Plan
+from repro.spaces import PlanSpace
+
+__all__ = ["PrefixSearchOptimizer"]
+
+
+class PrefixSearchOptimizer:
+    """Left-deep join enumeration with O(n) memory and no memoization.
+
+    Parameters
+    ----------
+    query:
+        The join query.
+    cp_free:
+        Restrict prefix extensions to relations joined to the prefix by a
+        predicate (the left-deep CP-free space); with ``False`` any
+        unjoined relation may extend the prefix.
+    aggressiveness:
+        Branch-and-bound factor ``gamma >= 1``: a prefix is abandoned when
+        ``gamma * accumulated_cost >= incumbent``.  ``1.0`` is admissible
+        (optimal result); larger values prune more and may miss the
+        optimum — SQL Anywhere's deliberate trade (Section 2.3).
+    """
+
+    def __init__(
+        self,
+        query: Query,
+        cost_model: CostModel | None = None,
+        *,
+        cp_free: bool = True,
+        aggressiveness: float = 1.0,
+        metrics: Metrics | None = None,
+    ) -> None:
+        if aggressiveness < 1.0:
+            raise ValueError("aggressiveness must be >= 1.0")
+        self.query = query
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.cp_free = cp_free
+        self.aggressiveness = aggressiveness
+        self.metrics = metrics if metrics is not None else Metrics()
+        #: Prefixes visited and prefixes pruned, for effort comparisons.
+        self.prefixes_explored = 0
+        self.prefixes_pruned = 0
+
+    @property
+    def space(self) -> PlanSpace:
+        """The left-deep plan space being searched."""
+        if self.cp_free:
+            return PlanSpace.left_deep_cp_free()
+        return PlanSpace.left_deep_with_cp()
+
+    def optimize(self, order: int | None = None) -> Plan:
+        """Search all prefixes (subject to pruning) and return the best."""
+        if order is not None:
+            raise NotImplementedError("prefix search has no order machinery")
+        query = self.query
+        n = query.n
+        self._incumbent: Plan | None = None
+        self._scans = []
+        for v in range(n):
+            scans = self.cost_model.scan_plans(query, 1 << v, None)
+            self._scans.append(min(scans, key=lambda p: p.cost))
+        for v in range(n):
+            self._extend(self._scans[v])
+        if self._incumbent is None:
+            raise RuntimeError("prefix search found no complete plan")
+        return self._incumbent
+
+    # -- internals ---------------------------------------------------------------
+
+    def _extend(self, prefix_plan: Plan) -> None:
+        """Recursively extend ``prefix_plan`` one relation at a time."""
+        query = self.query
+        self.prefixes_explored += 1
+        joined = prefix_plan.vertices
+        if joined == query.graph.all_vertices:
+            if self._incumbent is None or prefix_plan.cost < self._incumbent.cost:
+                self._incumbent = prefix_plan
+            return
+
+        if self.cp_free:
+            candidates = query.graph.neighbors_of_set(joined)
+        else:
+            candidates = query.graph.all_vertices & ~joined
+        # Cheapest-result-first ordering finds strong incumbents early,
+        # which is what makes aggressive bounding effective in practice.
+        ordered = sorted(
+            self._bits(candidates),
+            key=lambda v: query.cardinality(joined | (1 << v)),
+        )
+        incumbent_cost = (
+            self._incumbent.cost if self._incumbent is not None else INFINITY
+        )
+        for v in ordered:
+            best_step: Plan | None = None
+            for method in self.cost_model.JOIN_METHODS:
+                plan = self.cost_model.build_join(
+                    query, method, prefix_plan, self._scans[v]
+                )
+                self.metrics.join_operators_costed += 1
+                if best_step is None or plan.cost < best_step.cost:
+                    best_step = plan
+            self.metrics.logical_joins_enumerated += 1
+            incumbent_cost = (
+                self._incumbent.cost if self._incumbent is not None else INFINITY
+            )
+            if self.aggressiveness * best_step.cost >= incumbent_cost:
+                self.prefixes_pruned += 1
+                continue
+            self._extend(best_step)
+
+    @staticmethod
+    def _bits(mask: int):
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            yield low.bit_length() - 1

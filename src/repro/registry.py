@@ -1,0 +1,206 @@
+"""Algorithm registry: the paper's Table 1 names plus bounding suffixes.
+
+Name grammar (case-insensitive):
+
+``[T|B]  [L|B]  [N|C]  <style>  [A|P|AP]``
+
+* 1st letter — **T**op-down or **B**ottom-up;
+* 2nd — **L**eft-deep or **B**ushy;
+* 3rd — **N**o cartesian products or **C**artesian products allowed;
+* style — ``size`` (size-driven DP), ``naive`` (naive partitioning),
+  ``ccp`` (connected-subgraph complement pairs), ``mc`` (minimal cuts);
+* optional suffix — ``A`` accumulated-cost, ``P`` predicted-cost, ``AP``
+  both (top-down algorithms only).
+
+Examples: ``TBNmc`` is the paper's optimal top-down bushy CP-free
+algorithm; ``TLNmcAP`` adds combined bounding; ``BBNccp`` is DPccp.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.analysis.metrics import Metrics
+from repro.bottomup import DPccp, DPsize, DPsub
+from repro.catalog.query import Query
+from repro.cost.io_model import CostModel
+from repro.enumerator import Bounding, TopDownEnumerator
+from repro.memo import MemoTable
+from repro.partition import (
+    MinCutLazy,
+    MinCutLeftDeep,
+    MinCutOptimistic,
+    NaiveBushyCP,
+    NaiveBushyCPFree,
+    NaiveLeftDeepCP,
+    NaiveLeftDeepCPFree,
+)
+from repro.plans.physical import Plan
+from repro.spaces import PlanSpace
+
+__all__ = ["AlgorithmSpec", "available_algorithms", "make_optimizer", "optimize"]
+
+_NAME_PATTERN = re.compile(
+    r"^(?P<direction>[TB])(?P<shape>[LB])(?P<cp>[NC])"
+    r"(?P<style>size|naive|ccp|mc|mcopt)(?P<bounding>A|P|AP)?$",
+    re.IGNORECASE,
+)
+
+#: The algorithm names Table 1 lists as implemented (canonical casing).
+TABLE1_ALGORITHMS = (
+    "BLNsize",
+    "BLCsize",
+    "BBNsize",
+    "BBCsize",
+    "BBNnaive",
+    "BBCnaive",
+    "BBNccp",
+    "TLNnaive",
+    "TLCnaive",
+    "TBNnaive",
+    "TBCnaive",
+    "TLNmc",
+    "TBNmc",
+)
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """Parsed description of an algorithm name."""
+
+    name: str
+    top_down: bool
+    space: PlanSpace
+    style: str
+    bounding: Bounding
+
+    @property
+    def is_optimal_enumeration(self) -> bool:
+        """Whether the enumeration is optimal for its space (Section 3).
+
+        With cartesian products, naive partitioning is optimal and
+        size-driven DP is not; without them, only the minimal-cut and ccp
+        styles achieve the Ono–Lohman bounds with linear overhead.
+        """
+        if self.space.allows_cartesian_products:
+            return self.style == "naive"
+        return self.style in {"mc", "ccp"}
+
+
+def parse_name(name: str) -> AlgorithmSpec:
+    """Parse a Table 1 style algorithm name."""
+    match = _NAME_PATTERN.match(name)
+    if match is None:
+        raise ValueError(
+            f"unrecognized algorithm name {name!r}; "
+            "expected e.g. TBNmc, BLNsize, TLNmcAP"
+        )
+    top_down = match.group("direction").upper() == "T"
+    left_deep = match.group("shape").upper() == "L"
+    cp_free = match.group("cp").upper() == "N"
+    style = match.group("style").lower()
+    bounding = Bounding.from_suffix(match.group("bounding") or "")
+
+    if left_deep and cp_free:
+        space = PlanSpace.left_deep_cp_free()
+    elif left_deep:
+        space = PlanSpace.left_deep_with_cp()
+    elif cp_free:
+        space = PlanSpace.bushy_cp_free()
+    else:
+        space = PlanSpace.bushy_with_cp()
+
+    if bounding is not Bounding.NONE and not top_down:
+        raise ValueError(f"{name!r}: branch-and-bound requires top-down search")
+    if style == "ccp" and (top_down or left_deep or not cp_free):
+        raise ValueError(f"{name!r}: ccp style is bottom-up bushy CP-free only")
+    if style in {"mc", "mcopt"} and not top_down:
+        raise ValueError(f"{name!r}: minimal-cut style is top-down only")
+    if style in {"mc", "mcopt"} and not cp_free:
+        raise ValueError(f"{name!r}: minimal cuts target CP-free spaces")
+    if style == "size" and top_down:
+        raise ValueError(f"{name!r}: there is no top-down size-driven algorithm")
+    if style == "naive" and not top_down and left_deep:
+        raise ValueError(f"{name!r}: Table 1 has no bottom-up left-deep naive row")
+    return AlgorithmSpec(
+        name=name, top_down=top_down, space=space, style=style, bounding=bounding
+    )
+
+
+def available_algorithms(include_bounded: bool = True) -> list[str]:
+    """All algorithm names this registry can build."""
+    names = list(TABLE1_ALGORITHMS) + ["TBNmcopt"]
+    if include_bounded:
+        for base in ("TLNmc", "TBNmc", "TLCnaive", "TBCnaive", "TLNnaive", "TBNnaive"):
+            names.extend(base + suffix for suffix in ("A", "P", "AP"))
+    return names
+
+
+def _partition_for(spec: AlgorithmSpec):
+    if spec.style == "mcopt":
+        return MinCutOptimistic()
+    if spec.style == "mc":
+        if spec.space.is_left_deep:
+            return MinCutLeftDeep()
+        return MinCutLazy()
+    # naive
+    if spec.space.is_left_deep:
+        if spec.space.allows_cartesian_products:
+            return NaiveLeftDeepCP()
+        return NaiveLeftDeepCPFree()
+    if spec.space.allows_cartesian_products:
+        return NaiveBushyCP()
+    return NaiveBushyCPFree()
+
+
+def make_optimizer(
+    name: str,
+    query: Query,
+    cost_model: CostModel | None = None,
+    *,
+    memo: MemoTable | None = None,
+    metrics: Metrics | None = None,
+):
+    """Instantiate the named algorithm over ``query``.
+
+    Returns an object with an ``optimize(order=None) -> Plan`` method and
+    ``metrics`` attribute (either a :class:`TopDownEnumerator` or a
+    bottom-up optimizer).
+    """
+    spec = parse_name(name)
+    if spec.top_down:
+        return TopDownEnumerator(
+            query,
+            _partition_for(spec),
+            cost_model,
+            bounding=spec.bounding,
+            memo=memo,
+            metrics=metrics,
+        )
+    if memo is not None:
+        raise ValueError("bottom-up algorithms manage their own plan table")
+    if spec.style == "ccp":
+        return DPccp(query, cost_model, metrics=metrics)
+    if spec.style == "naive":
+        return DPsub(query, spec.space, cost_model, metrics=metrics)
+    return DPsize(query, spec.space, cost_model, metrics=metrics)
+
+
+def optimize(
+    name: str,
+    query: Query,
+    cost_model: CostModel | None = None,
+    *,
+    metrics: Metrics | None = None,
+    order: int | None = None,
+    initial_plan: Optional[Plan] = None,
+) -> Plan:
+    """One-shot convenience: build the named optimizer and run it."""
+    optimizer = make_optimizer(name, query, cost_model, metrics=metrics)
+    if isinstance(optimizer, TopDownEnumerator):
+        return optimizer.optimize(order, initial_plan=initial_plan)
+    if initial_plan is not None:
+        raise ValueError("initial plans require a top-down optimizer")
+    return optimizer.optimize(order)

@@ -1,0 +1,61 @@
+"""Plan-space descriptors (Table 1 columns).
+
+Kept dependency-free so both the partition strategies and the analysis
+utilities can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["PlanSpace"]
+
+
+class PlanSpace(enum.Flag):
+    """The four plan spaces of the paper (Table 1 columns).
+
+    ``LEFT_DEEP`` spaces only admit partitions whose right side is a single
+    relation; ``CP_FREE`` spaces only admit partitions where both sides
+    induce connected subgraphs and are joined by at least one predicate.
+    """
+
+    LEFT_DEEP = enum.auto()
+    BUSHY = enum.auto()
+    CP_FREE = enum.auto()
+    WITH_CP = enum.auto()
+
+    @classmethod
+    def left_deep_cp_free(cls) -> "PlanSpace":
+        """Left-deep trees without cartesian products."""
+        return cls.LEFT_DEEP | cls.CP_FREE
+
+    @classmethod
+    def left_deep_with_cp(cls) -> "PlanSpace":
+        """Left-deep trees including cartesian products."""
+        return cls.LEFT_DEEP | cls.WITH_CP
+
+    @classmethod
+    def bushy_cp_free(cls) -> "PlanSpace":
+        """Bushy trees without cartesian products."""
+        return cls.BUSHY | cls.CP_FREE
+
+    @classmethod
+    def bushy_with_cp(cls) -> "PlanSpace":
+        """Bushy trees including cartesian products."""
+        return cls.BUSHY | cls.WITH_CP
+
+    @property
+    def allows_cartesian_products(self) -> bool:
+        """Whether plans may contain cartesian products."""
+        return bool(self & PlanSpace.WITH_CP)
+
+    @property
+    def is_left_deep(self) -> bool:
+        """Whether every join's right input must be a base relation."""
+        return bool(self & PlanSpace.LEFT_DEEP)
+
+    def describe(self) -> str:
+        """Human-readable space label, e.g. 'bushy CP-free'."""
+        shape = "left-deep" if self.is_left_deep else "bushy"
+        cp = "with CPs" if self.allows_cartesian_products else "CP-free"
+        return f"{shape} {cp}"

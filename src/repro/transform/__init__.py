@@ -1,0 +1,37 @@
+"""Transformational (Volcano/Cascades-style) join enumeration.
+
+Section 2.4 of the paper describes the transformational paradigm as the
+main top-down alternative to partitioning search and makes three claims
+about it that this subpackage lets us demonstrate live:
+
+1. **Memory cost**: a transformational memo must store *all* generated
+   logical expressions, not just optimal plans — Ω(3^n) storage for bushy
+   spaces with cartesian products versus the Ω(2^n) of dynamic
+   programming (counted by :class:`TransformationalOptimizer`'s metrics).
+2. **Duplicate generation**: with the classic commutativity/associativity
+   rule set, the same expression is derived along many paths; naive
+   application wastes work detecting duplicates (also counted).
+3. **CP-free generate-and-test**: cartesian products are avoided by
+   discarding derived expressions that contain one.  A nuance worth
+   recording: the paper's incompleteness argument ("the derivation path
+   of at least one bushy CP-free plan must pass through a plan containing
+   a CP" on some cyclic queries) applies to *duplicate-free* schemes à la
+   Pellenkoft et al., where every expression has a unique derivation
+   path.  Under the naive exhaustive rule application implemented here —
+   which detects duplicates instead of preventing them — alternative
+   derivation routes exist, and the test suite verifies empirically that
+   the filtered closure still reaches every csg-cmp pair on chains,
+   stars, trees, cycles, wheels, grids, and cliques.  The price is
+   exactly the duplicate-detection work counted in
+   :attr:`TransformationalOptimizer.duplicates_detected`.
+
+The implementation is a faithful miniature of the EXPLORE phase of a
+Volcano-style optimizer: groups keyed by logical properties (here, the
+vertex set), multi-expressions referencing child groups, a rule engine
+applying join commutativity and associativity to a fixpoint, and costing
+of every physical operator per multi-expression.
+"""
+
+from repro.transform.engine import TransformationalOptimizer
+
+__all__ = ["TransformationalOptimizer"]

@@ -1,0 +1,33 @@
+"""Workload generation: graph topologies, random graphs, and weights.
+
+The paper evaluates on chains, stars, cycles, cliques, spoked wheels, and
+randomly generated graphs parameterized by a cyclicity factor ``C``
+(Sections 3.3.3 and 3.4), with vertex/edge weights drawn per Section 4.3
+for the branch-and-bound experiments.
+"""
+
+from repro.workloads.topologies import (
+    binary_tree,
+    chain,
+    clique,
+    cycle,
+    grid,
+    star,
+    wheel,
+)
+from repro.workloads.random_graphs import random_connected_graph
+from repro.workloads.weights import WeightedWorkload, generate_weights, weighted_query
+
+__all__ = [
+    "binary_tree",
+    "chain",
+    "clique",
+    "cycle",
+    "grid",
+    "star",
+    "wheel",
+    "random_connected_graph",
+    "WeightedWorkload",
+    "generate_weights",
+    "weighted_query",
+]

@@ -1,0 +1,77 @@
+"""Random connected join graphs with a tunable cyclicity factor.
+
+Section 3.3.3 of the paper: "These random graphs are generated
+incrementally with different values for the factor C, which controls the
+degree of cyclicity — with probability C a generated edge connects two
+existing vertices, while with probability 1 - C it connects a new vertex to
+the graph."
+
+With ``C = 0`` the generator produces uniformly attached random trees
+(acyclic queries); larger ``C`` yields denser, more cyclic graphs with an
+expected ``(n - 1) / (1 - C)`` edges by the time the n-th vertex appears.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.joingraph import JoinGraph
+
+__all__ = ["random_connected_graph"]
+
+
+def random_connected_graph(
+    n: int,
+    cyclicity: float,
+    rng: random.Random | int | None = None,
+) -> JoinGraph:
+    """Generate a random connected join graph on ``n`` vertices.
+
+    Parameters
+    ----------
+    n:
+        Number of relations; must be positive.
+    cyclicity:
+        The factor ``C`` in ``[0, 1)``: probability that each generated edge
+        connects two existing vertices rather than attaching a new one.
+    rng:
+        A ``random.Random``, an int seed, or None for a fresh generator.
+
+    The graph is grown one edge at a time starting from a single vertex.
+    Each step flips a coin: with probability ``1 - C`` a new vertex is
+    attached to a uniformly random existing vertex, and with probability
+    ``C`` an edge is added between two distinct existing vertices chosen
+    uniformly (resampled on duplicates).  Generation stops once all ``n``
+    vertices have been attached, so the result is always connected.
+    """
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    if not 0.0 <= cyclicity < 1.0:
+        raise ValueError(f"cyclicity must be in [0, 1), got {cyclicity}")
+    if rng is None:
+        rng = random.Random()
+    elif isinstance(rng, int):
+        rng = random.Random(rng)
+
+    if n == 1:
+        return JoinGraph(1, [])
+
+    edges: set[tuple[int, int]] = set()
+    attached = 1  # vertex 0 seeds the graph
+    while attached < n:
+        capacity = attached * (attached - 1) // 2  # possible edges so far
+        add_internal = attached >= 2 and len(edges) < capacity and rng.random() < cyclicity
+        if add_internal:
+            u = rng.randrange(attached)
+            v = rng.randrange(attached)
+            while v == u:
+                v = rng.randrange(attached)
+            edge = (u, v) if u < v else (v, u)
+            if edge in edges:
+                continue  # resample; the capacity check guarantees progress
+            edges.add(edge)
+        else:
+            u = rng.randrange(attached)
+            edges.add((u, attached))
+            attached += 1
+    return JoinGraph(n, sorted(edges))

@@ -1,0 +1,91 @@
+"""Canonical join-graph topologies used throughout the paper's evaluation.
+
+All constructors return a :class:`~repro.core.joingraph.JoinGraph` over
+vertices ``0 .. n-1``.  Conventions:
+
+* ``chain(n)``: path ``0 - 1 - ... - n-1``;
+* ``star(n)``: hub ``0`` joined to every spoke ``1 .. n-1``;
+* ``cycle(n)``: chain plus the closing edge ``(n-1, 0)``;
+* ``clique(n)``: every pair joined;
+* ``wheel(n)``: the paper's "spoked wheel" — hub ``0`` joined to every rim
+  vertex, rim vertices ``1 .. n-1`` forming a cycle;
+* ``grid(rows, cols)``: rectangular lattice (a common cyclic benchmark);
+* ``binary_tree(n)``: left-deep binary tree used in the Section 3.3.1
+  worst-case analysis of ``MinCutLazy``.
+"""
+
+from __future__ import annotations
+
+from repro.core.joingraph import JoinGraph
+
+__all__ = ["binary_tree", "chain", "clique", "cycle", "grid", "star", "wheel"]
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(message)
+
+
+def chain(n: int) -> JoinGraph:
+    """Path query graph on ``n`` relations."""
+    _require(n >= 1, f"chain needs n >= 1, got {n}")
+    return JoinGraph(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def star(n: int) -> JoinGraph:
+    """Star query graph: vertex 0 is the hub (e.g. a fact table)."""
+    _require(n >= 1, f"star needs n >= 1, got {n}")
+    return JoinGraph(n, [(0, i) for i in range(1, n)])
+
+
+def cycle(n: int) -> JoinGraph:
+    """Simple cycle on ``n`` relations."""
+    _require(n >= 3, f"cycle needs n >= 3, got {n}")
+    edges = [(i, i + 1) for i in range(n - 1)]
+    edges.append((n - 1, 0))
+    return JoinGraph(n, edges)
+
+
+def clique(n: int) -> JoinGraph:
+    """Complete query graph on ``n`` relations."""
+    _require(n >= 1, f"clique needs n >= 1, got {n}")
+    return JoinGraph(n, [(i, j) for i in range(n) for j in range(i + 1, n)])
+
+
+def wheel(n: int) -> JoinGraph:
+    """Spoked wheel: hub 0 plus a rim cycle on ``1 .. n-1``.
+
+    This is the topology of Figure 5, the worst case for
+    ``MinCutOptimistic`` when the hub is added to ``S`` first.
+    """
+    _require(n >= 4, f"wheel needs n >= 4, got {n}")
+    edges = [(0, i) for i in range(1, n)]
+    edges.extend((i, i + 1) for i in range(1, n - 1))
+    edges.append((n - 1, 1))
+    return JoinGraph(n, edges)
+
+
+def grid(rows: int, cols: int) -> JoinGraph:
+    """Rectangular grid lattice with ``rows * cols`` relations."""
+    _require(rows >= 1 and cols >= 1, f"grid needs positive dims, got {rows}x{cols}")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+    return JoinGraph(rows * cols, edges)
+
+
+def binary_tree(n: int) -> JoinGraph:
+    """Complete-ish binary tree rooted at 0 (vertex ``v`` has children
+    ``2v+1`` and ``2v+2`` when they exist)."""
+    _require(n >= 1, f"binary_tree needs n >= 1, got {n}")
+    edges = []
+    for v in range(n):
+        for child in (2 * v + 1, 2 * v + 2):
+            if child < n:
+                edges.append((v, child))
+    return JoinGraph(n, edges)

@@ -1,0 +1,100 @@
+"""Weighted workload generation for the branch-and-bound experiments.
+
+Section 4.3 of the paper: "Vertex weights are generated as ``10^X``, where
+``X`` is drawn from a Gaussian distribution with ``mu = 5`` and
+``sigma = 2``. ... The distribution of edge weights, representing join
+selectivities in the range ``[0, 1)``, was carefully chosen based on the
+ratio of edges to vertices so that the expected cardinality of the final
+result ... is described by ``10^Y`` where ``Y`` follows a Gaussian
+distribution with ``mu = 5``".
+
+That calibration makes join inputs and join outputs have the same expected
+cardinality, which the paper identifies as the worst case for
+branch-and-bound pruning (it minimizes cost variance between partitions).
+We reproduce it by drawing the target result exponent ``Y ~ N(5, 2)`` and
+back-solving the total log-selectivity that the edges must contribute,
+splitting it evenly across edges plus per-edge Gaussian noise, then
+clamping each selectivity strictly below 1.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.catalog.stats import Relation
+from repro.catalog.query import Query
+from repro.core.joingraph import JoinGraph
+
+__all__ = ["WeightedWorkload", "generate_weights", "weighted_query"]
+
+#: Mean/stddev of the base-cardinality exponent (paper: N(5, 2)).
+CARDINALITY_MU = 5.0
+CARDINALITY_SIGMA = 2.0
+
+#: Mean/stddev of the final-result exponent (paper: mu = 5, sigma > 2).
+RESULT_MU = 5.0
+RESULT_SIGMA = 2.0
+
+#: Per-edge noise on the log-selectivity split.
+EDGE_NOISE_SIGMA = 0.5
+
+#: Selectivities are clamped to at most this value (strictly below 1).
+MAX_SELECTIVITY = 0.999
+
+
+@dataclass(frozen=True)
+class WeightedWorkload:
+    """A weighted query plus the raw draws that produced it (for auditing)."""
+
+    query: Query
+    cardinality_exponents: tuple[float, ...]
+    result_exponent_target: float
+
+    @property
+    def actual_result_exponent(self) -> float:
+        """Realized ``log10`` of the final join cardinality (post-clamping)."""
+        return math.log10(self.query.cardinality(self.query.graph.all_vertices))
+
+
+def generate_weights(
+    graph: JoinGraph,
+    rng: random.Random | int | None = None,
+) -> WeightedWorkload:
+    """Draw Section 4.3 weights for ``graph`` and return the workload."""
+    if rng is None:
+        rng = random.Random()
+    elif isinstance(rng, int):
+        rng = random.Random(rng)
+
+    exponents = [rng.gauss(CARDINALITY_MU, CARDINALITY_SIGMA) for _ in range(graph.n)]
+    # Keep cardinalities at least 1 tuple.
+    exponents = [max(0.0, x) for x in exponents]
+    relations = [Relation(f"R{i}", 10.0**x) for i, x in enumerate(exponents)]
+
+    selectivity: dict[tuple[int, int], float] = {}
+    edge_count = graph.edge_count()
+    target_y = rng.gauss(RESULT_MU, RESULT_SIGMA)
+    if edge_count:
+        total_log_sel = target_y - sum(exponents)
+        per_edge = total_log_sel / edge_count
+        for e in graph.edges:
+            log_sel = per_edge + rng.gauss(0.0, EDGE_NOISE_SIGMA)
+            sel = min(MAX_SELECTIVITY, 10.0**log_sel)
+            selectivity[(e.u, e.v)] = max(sel, 1e-12)
+
+    query = Query(graph, relations, selectivity)
+    return WeightedWorkload(
+        query=query,
+        cardinality_exponents=tuple(exponents),
+        result_exponent_target=target_y,
+    )
+
+
+def weighted_query(
+    graph: JoinGraph,
+    rng: random.Random | int | None = None,
+) -> Query:
+    """Convenience wrapper returning only the query."""
+    return generate_weights(graph, rng).query

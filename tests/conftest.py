@@ -1,0 +1,23 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.workloads import random_connected_graph
+from repro.workloads.weights import weighted_query
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture(params=range(4))
+def weighted_random_query(request):
+    """A weighted random query (varying seeds/cyclicity)."""
+    seed = request.param
+    graph = random_connected_graph(6 + seed % 2, 0.2 * (seed % 3), seed)
+    return weighted_query(graph, seed + 1000)

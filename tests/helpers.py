@@ -1,0 +1,25 @@
+"""Shared non-fixture helpers for the test suite."""
+
+from __future__ import annotations
+
+from repro.core.joingraph import JoinGraph
+from repro.workloads import random_connected_graph
+
+
+def small_graphs() -> list[JoinGraph]:
+    """A diverse batch of small graphs for oracle-style comparisons."""
+    from repro.workloads import binary_tree, chain, clique, cycle, grid, star, wheel
+
+    graphs = [
+        chain(1),
+        chain(2),
+        chain(5),
+        star(6),
+        cycle(5),
+        clique(5),
+        wheel(6),
+        binary_tree(7),
+        grid(2, 3),
+    ]
+    graphs += [random_connected_graph(7, c, seed) for c in (0.0, 0.4) for seed in range(3)]
+    return graphs

@@ -1,0 +1,129 @@
+"""Unit and property tests for the bitset substrate."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bitset import (
+    bit,
+    bits_between,
+    first_bit,
+    is_singleton,
+    is_subset,
+    iter_bits,
+    iter_subsets,
+    lowest_bit,
+    mask_of,
+    popcount,
+    set_of,
+)
+
+masks = st.integers(min_value=0, max_value=(1 << 20) - 1)
+nonempty_masks = st.integers(min_value=1, max_value=(1 << 16) - 1)
+
+
+class TestBasics:
+    def test_bit(self):
+        assert bit(0) == 1
+        assert bit(5) == 32
+
+    def test_mask_of_roundtrip(self):
+        assert mask_of([0, 2, 5]) == 0b100101
+        assert set_of(0b100101) == frozenset({0, 2, 5})
+
+    def test_mask_of_empty(self):
+        assert mask_of([]) == 0
+        assert set_of(0) == frozenset()
+
+    def test_mask_of_duplicates(self):
+        assert mask_of([1, 1, 1]) == 2
+
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+
+    def test_is_subset(self):
+        assert is_subset(0b101, 0b111)
+        assert is_subset(0, 0b111)
+        assert not is_subset(0b1000, 0b111)
+        assert is_subset(0b111, 0b111)
+
+    def test_is_singleton(self):
+        assert not is_singleton(0)
+        assert is_singleton(1)
+        assert is_singleton(1 << 13)
+        assert not is_singleton(0b11)
+
+    def test_lowest_bit(self):
+        assert lowest_bit(0) == 0
+        assert lowest_bit(0b1100) == 0b100
+
+    def test_first_bit(self):
+        assert first_bit(0b1100) == 2
+        assert first_bit(1) == 0
+
+    def test_first_bit_empty_raises(self):
+        with pytest.raises(ValueError):
+            first_bit(0)
+
+    def test_iter_bits_order(self):
+        assert list(iter_bits(0b101001)) == [0, 3, 5]
+        assert list(iter_bits(0)) == []
+
+    def test_bits_between(self):
+        assert bits_between(0, 3) == 0b111
+        assert bits_between(2, 5) == 0b11100
+        assert bits_between(3, 3) == 0
+        assert bits_between(4, 2) == 0
+
+
+class TestSubsetEnumeration:
+    def test_empty(self):
+        assert list(iter_subsets(0)) == []
+
+    def test_singleton(self):
+        assert list(iter_subsets(0b100)) == [0b100]
+        assert list(iter_subsets(0b100, proper=True)) == []
+
+    def test_small(self):
+        assert sorted(iter_subsets(0b101)) == [0b001, 0b100, 0b101]
+        assert sorted(iter_subsets(0b101, proper=True)) == [0b001, 0b100]
+
+    def test_counts(self):
+        mask = 0b101101
+        k = popcount(mask)
+        assert len(list(iter_subsets(mask))) == 2**k - 1
+        assert len(list(iter_subsets(mask, proper=True))) == 2**k - 2
+
+    @given(nonempty_masks)
+    def test_all_are_subsets_and_unique(self, mask):
+        seen = list(iter_subsets(mask))
+        assert len(seen) == len(set(seen))
+        assert all(s and is_subset(s, mask) for s in seen)
+        assert len(seen) == 2 ** popcount(mask) - 1
+
+    @given(nonempty_masks)
+    def test_increasing_order(self, mask):
+        seen = list(iter_subsets(mask))
+        assert seen == sorted(seen)
+
+
+class TestProperties:
+    @given(masks)
+    def test_set_roundtrip(self, mask):
+        assert mask_of(set_of(mask)) == mask
+
+    @given(masks)
+    def test_iter_bits_matches_popcount(self, mask):
+        assert len(list(iter_bits(mask))) == popcount(mask)
+
+    @given(masks, masks)
+    def test_subset_definition(self, a, b):
+        assert is_subset(a, b) == set_of(a).issubset(set_of(b))
+
+    @given(nonempty_masks)
+    def test_lowest_bit_is_member(self, mask):
+        low = lowest_bit(mask)
+        assert is_singleton(low)
+        assert is_subset(low, mask)
+        assert first_bit(mask) == min(iter_bits(mask))

@@ -1,0 +1,137 @@
+"""Tests for the bottom-up baselines: DPsize, DPsub, DPccp."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.counting import count_join_operators
+from repro.analysis.metrics import Metrics
+from repro.bottomup import DPccp, DPsize, DPsub
+from repro.enumerator import TopDownEnumerator
+from repro.partition import MinCutLazy, NaiveBushyCP, NaiveLeftDeepCP
+from repro.plans import validate_plan
+from repro.spaces import PlanSpace
+from repro.workloads import chain, clique, cycle, random_connected_graph, star
+from repro.workloads.weights import weighted_query
+
+
+class TestDPsize:
+    @pytest.mark.parametrize(
+        "space",
+        [
+            PlanSpace.left_deep_cp_free(),
+            PlanSpace.left_deep_with_cp(),
+            PlanSpace.bushy_cp_free(),
+            PlanSpace.bushy_with_cp(),
+        ],
+        ids=lambda s: s.describe(),
+    )
+    def test_matches_top_down_per_space(self, space):
+        from repro.registry import make_optimizer
+
+        reference_names = {
+            PlanSpace.left_deep_cp_free(): "TLNmc",
+            PlanSpace.left_deep_with_cp(): "TLCnaive",
+            PlanSpace.bushy_cp_free(): "TBNmc",
+            PlanSpace.bushy_with_cp(): "TBCnaive",
+        }
+        for seed in range(4):
+            query = weighted_query(random_connected_graph(6, 0.3, seed), seed)
+            bottom_up = DPsize(query, space).optimize()
+            top_down = make_optimizer(reference_names[space], query).optimize()
+            assert bottom_up.cost == pytest.approx(top_down.cost)
+            validate_plan(bottom_up, query, space)
+
+    def test_left_deep_shape(self):
+        query = weighted_query(star(6), 3)
+        plan = DPsize(query, PlanSpace.left_deep_cp_free()).optimize()
+        validate_plan(plan, query, PlanSpace.left_deep_cp_free())
+
+    def test_overlap_waste_counted(self):
+        query = weighted_query(chain(6), 3)
+        optimizer = DPsize(query, PlanSpace.bushy_cp_free())
+        optimizer.optimize()
+        # Size-driven enumeration attempts far more pairs than it keeps.
+        assert optimizer.metrics.partitions_emitted > optimizer.metrics.logical_joins_enumerated
+
+    def test_single_relation(self):
+        query = weighted_query(chain(1), 0)
+        plan = DPsize(query, PlanSpace.bushy_cp_free()).optimize()
+        assert plan.is_scan
+
+    def test_order_not_implemented(self):
+        query = weighted_query(chain(3), 0)
+        with pytest.raises(NotImplementedError):
+            DPsize(query, PlanSpace.bushy_cp_free()).optimize(order=0)
+
+
+class TestDPsub:
+    def test_left_deep_rejected(self):
+        query = weighted_query(chain(3), 0)
+        with pytest.raises(ValueError):
+            DPsub(query, PlanSpace.left_deep_cp_free())
+
+    @pytest.mark.parametrize(
+        "space",
+        [PlanSpace.bushy_cp_free(), PlanSpace.bushy_with_cp()],
+        ids=lambda s: s.describe(),
+    )
+    def test_matches_top_down(self, space):
+        strategy = MinCutLazy() if not space.allows_cartesian_products else NaiveBushyCP()
+        for seed in range(4):
+            query = weighted_query(random_connected_graph(6, 0.4, seed), seed)
+            bottom_up = DPsub(query, space).optimize()
+            top_down = TopDownEnumerator(query, strategy).optimize()
+            assert bottom_up.cost == pytest.approx(top_down.cost)
+            validate_plan(bottom_up, query, space)
+
+    def test_cp_free_discards_many_splits_on_stars(self):
+        """The naive subset generation is oblivious to the graph: most of
+        its splits are cartesian products (Section 2.2)."""
+        query = weighted_query(star(8), 3)
+        optimizer = DPsub(query, PlanSpace.bushy_cp_free())
+        optimizer.optimize()
+        m = optimizer.metrics
+        assert m.failed_connectivity_tests > m.logical_joins_enumerated
+
+    def test_with_cp_considers_every_split(self):
+        n = 5
+        query = weighted_query(chain(n), 3)
+        optimizer = DPsub(query, PlanSpace.bushy_with_cp())
+        optimizer.optimize()
+        assert optimizer.metrics.logical_joins_enumerated == 3**n - 2 ** (n + 1) + 1
+
+
+class TestDPccp:
+    @pytest.mark.parametrize("maker,n", [(chain, 7), (star, 7), (cycle, 6), (clique, 5)])
+    def test_enumerates_exactly_the_ccp_pairs(self, maker, n):
+        graph = maker(n)
+        query = weighted_query(graph, 3)
+        optimizer = DPccp(query)
+        optimizer.optimize()
+        expected = count_join_operators(graph, PlanSpace.bushy_cp_free())
+        assert optimizer.metrics.logical_joins_enumerated == expected
+
+    @given(seed=st.integers(0, 20_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_graphs_match_tbnmc(self, seed):
+        graph = random_connected_graph(7, 0.35, seed)
+        query = weighted_query(graph, seed)
+        ccp = DPccp(query)
+        bottom_up = ccp.optimize()
+        metrics = Metrics()
+        top_down = TopDownEnumerator(query, MinCutLazy(), metrics=metrics).optimize()
+        assert bottom_up.cost == pytest.approx(top_down.cost)
+        # Both optimal algorithms enumerate exactly the same set of join
+        # operators (one per csg-cmp-pair and orientation).
+        assert ccp.metrics.logical_joins_enumerated == metrics.logical_joins_enumerated
+        validate_plan(bottom_up, query, PlanSpace.bushy_cp_free())
+
+    def test_single_relation(self):
+        query = weighted_query(chain(1), 0)
+        assert DPccp(query).optimize().is_scan
+
+    def test_two_relations(self):
+        query = weighted_query(chain(2), 0)
+        plan = DPccp(query).optimize()
+        assert plan.join_count() == 1

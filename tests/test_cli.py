@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_optimize_defaults(self):
+        args = build_parser().parse_args(["optimize"])
+        assert args.algorithm == "TBNmc"
+        assert args.topology == "star"
+        assert args.n == 8
+
+    def test_experiment_scale_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig2", "--scale", "huge"])
+
+
+class TestCommands:
+    def test_list_algorithms(self, capsys):
+        assert main(["list-algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "TBNmc" in out and "BBNccp" in out and "top-down" in out
+
+    def test_optimize_prints_plan(self, capsys):
+        code = main([
+            "optimize", "--algorithm", "TBNmcP", "--topology", "chain",
+            "--n", "5", "--seed", "3", "--metrics",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cost:" in out
+        assert "scan(" in out
+        assert "counters:" in out
+
+    def test_experiment_runs(self, capsys):
+        assert main(["experiment", "fig4", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "Clique" in out and "completed" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_optimize_with_dsl_query(self, capsys):
+        code = main([
+            "optimize", "--query", "a(1000) b(500) c(20); a-b:0.01 b-c:0.1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "n=3" in out and "scan(a)" in out
+
+    def test_run_executes_plan(self, capsys):
+        code = main([
+            "run", "--query", "a(1000) b(500); a-b:0.05", "--rows", "16",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "result:" in out and "plan (TBNmc)" in out
+
+    def test_run_generated_topology(self, capsys):
+        assert main(["run", "--topology", "chain", "--n", "4", "--rows", "12"]) == 0
+        assert "result:" in capsys.readouterr().out

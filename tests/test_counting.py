@@ -1,0 +1,124 @@
+"""Tests for the search-space counting module, anchored on the paper's
+own Table 2 numbers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.counting import (
+    count_connected_subgraphs,
+    count_join_operators,
+    count_minimal_cuts,
+    ono_lohman_join_operators,
+    ono_lohman_minimal_cuts,
+)
+from repro.spaces import PlanSpace
+from repro.workloads import chain, clique, cycle, random_connected_graph, star
+
+TOPOLOGIES = {
+    "chain": chain,
+    "star": star,
+    "clique": clique,
+    "cycle": cycle,
+}
+
+ALL_SPACES = [
+    PlanSpace.left_deep_cp_free(),
+    PlanSpace.left_deep_with_cp(),
+    PlanSpace.bushy_cp_free(),
+    PlanSpace.bushy_with_cp(),
+]
+
+
+class TestPaperAnchors:
+    """Table 2's first rows for star queries at n=5: 36 / 64 / 75 / 180."""
+
+    def test_star5_left_deep_cp_free(self):
+        assert ono_lohman_join_operators("star", 5, PlanSpace.left_deep_cp_free()) == 36
+
+    def test_star5_bushy_cp_free(self):
+        assert ono_lohman_join_operators("star", 5, PlanSpace.bushy_cp_free()) == 64
+
+    def test_star5_left_deep_with_cp(self):
+        assert ono_lohman_join_operators("star", 5, PlanSpace.left_deep_with_cp()) == 75
+
+    def test_star5_bushy_with_cp(self):
+        assert ono_lohman_join_operators("star", 5, PlanSpace.bushy_with_cp()) == 180
+
+    def test_with_cp_counts_topology_independent(self):
+        """Table 2: with-CP spaces have identical sizes for all topologies."""
+        for space in (PlanSpace.left_deep_with_cp(), PlanSpace.bushy_with_cp()):
+            values = {
+                ono_lohman_join_operators(t, 6, space) for t in TOPOLOGIES
+            }
+            assert len(values) == 1
+
+    def test_known_growth(self):
+        # Bushy with CPs: 3^n - 2^(n+1) + 1.
+        assert ono_lohman_join_operators("chain", 10, PlanSpace.bushy_with_cp()) == (
+            3**10 - 2**11 + 1
+        )
+
+
+class TestClosedFormsAgainstBruteForce:
+    @pytest.mark.parametrize("topology", list(TOPOLOGIES))
+    @pytest.mark.parametrize("space", ALL_SPACES, ids=lambda s: s.describe())
+    def test_join_operator_counts(self, topology, space):
+        sizes = range(3, 8) if topology == "cycle" else range(1, 8)
+        for n in sizes:
+            graph = TOPOLOGIES[topology](n)
+            assert count_join_operators(graph, space) == ono_lohman_join_operators(
+                topology, n, space
+            ), (topology, n, space.describe())
+
+    @pytest.mark.parametrize("topology", list(TOPOLOGIES))
+    def test_minimal_cut_counts(self, topology):
+        sizes = range(3, 9) if topology == "cycle" else range(1, 9)
+        for n in sizes:
+            graph = TOPOLOGIES[topology](n)
+            assert count_minimal_cuts(graph) == ono_lohman_minimal_cuts(topology, n)
+
+    def test_tree_alias(self):
+        assert ono_lohman_minimal_cuts("tree", 9) == 8
+
+
+class TestBruteForce:
+    def test_connected_subgraph_counts(self):
+        # Chain: intervals -> n(n+1)/2; star: hub sets + singletons.
+        assert count_connected_subgraphs(chain(5)) == 15
+        assert count_connected_subgraphs(star(5)) == 2**4 + 4
+        assert count_connected_subgraphs(chain(5), min_size=2) == 10
+
+    def test_acyclic_cut_equals_edge_count(self):
+        """Section 3.3.1: for acyclic graphs |E| = number of cuts."""
+        for seed in range(8):
+            graph = random_connected_graph(9, 0.0, seed)
+            assert count_minimal_cuts(graph) == graph.edge_count()
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=20, deadline=None)
+    def test_space_inclusion(self, seed):
+        """CP-free spaces are subsets of their with-CP counterparts, and
+        left-deep spaces are subsets of bushy ones."""
+        graph = random_connected_graph(7, 0.4, seed)
+        counts = {space: count_join_operators(graph, space) for space in ALL_SPACES}
+        assert counts[PlanSpace.left_deep_cp_free()] <= counts[PlanSpace.left_deep_with_cp()]
+        assert counts[PlanSpace.bushy_cp_free()] <= counts[PlanSpace.bushy_with_cp()]
+        assert counts[PlanSpace.left_deep_cp_free()] <= counts[PlanSpace.bushy_cp_free()]
+        assert counts[PlanSpace.left_deep_with_cp()] <= counts[PlanSpace.bushy_with_cp()]
+
+
+class TestValidation:
+    def test_unknown_topology(self):
+        with pytest.raises(ValueError):
+            ono_lohman_join_operators("torus", 5, PlanSpace.bushy_cp_free())
+        with pytest.raises(ValueError):
+            ono_lohman_minimal_cuts("torus", 5)
+
+    def test_bad_sizes(self):
+        with pytest.raises(ValueError):
+            ono_lohman_join_operators("chain", 0, PlanSpace.bushy_cp_free())
+        with pytest.raises(ValueError):
+            ono_lohman_join_operators("cycle", 2, PlanSpace.bushy_cp_free())
+        with pytest.raises(ValueError):
+            ono_lohman_minimal_cuts("cycle", 2)

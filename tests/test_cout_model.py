@@ -1,0 +1,105 @@
+"""Tests for the C_out cost model and its interplay with bounding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import Metrics
+from repro.cost import CostModel, CoutCostModel
+from repro.plans import validate_plan
+from repro.registry import make_optimizer
+from repro.spaces import PlanSpace
+from repro.workloads import chain, random_connected_graph, star
+from repro.workloads.weights import weighted_query
+
+
+class TestModel:
+    def test_scans_are_free(self):
+        query = weighted_query(chain(3), 1)
+        model = CoutCostModel()
+        [scan] = model.scan_plans(query, 1, None)
+        assert scan.cost == 0.0
+        assert scan.cardinality == query.cardinality(1)
+
+    def test_join_cost_is_output_cardinality(self):
+        query = weighted_query(chain(3), 1)
+        model = CoutCostModel()
+        [left] = model.scan_plans(query, 0b001, None)
+        [right] = model.scan_plans(query, 0b010, None)
+        plan = model.build_join(query, model.JOIN_METHODS[0], left, right)
+        assert plan.cost == pytest.approx(query.cardinality(0b011))
+
+    def test_all_methods_cost_the_same(self):
+        query = weighted_query(chain(3), 1)
+        model = CoutCostModel()
+        costs = {
+            model.operator_cost(query, m, 0b001, 0b010)
+            for m in model.JOIN_METHODS
+        }
+        assert len(costs) == 1
+
+    def test_page_interface_disabled(self):
+        model = CoutCostModel()
+        with pytest.raises(NotImplementedError):
+            model.join_operator_cost(model.JOIN_METHODS[0], 1.0, 2.0)
+
+    def test_lower_bound_conservative(self):
+        """bound(L, R) <= cost of any plan shape joining L and R."""
+        query = weighted_query(random_connected_graph(6, 0.4, 3), 3)
+        model = CoutCostModel()
+        from repro.core.bitset import iter_subsets
+
+        full = query.graph.all_vertices
+        for left in iter_subsets(full, proper=True):
+            right = full ^ left
+            bound = model.lower_bound(query, left, right)
+            # Minimal conceivable plan cost: top + each composite child's
+            # own top, which is exactly the bound; any real plan adds more.
+            top = query.cardinality(full)
+            assert bound >= top - 1e-9
+
+
+class TestOptimalityUnderCout:
+    @given(seed=st.integers(0, 20_000))
+    @settings(max_examples=10, deadline=None)
+    def test_cross_algorithm_agreement(self, seed):
+        query = weighted_query(random_connected_graph(6, 0.3, seed), seed)
+        model = CoutCostModel()
+        costs = set()
+        for name in ("TBNmc", "BBNccp", "TBNnaive", "BBNsize",
+                     "TBNmcA", "TBNmcP", "TBNmcAP"):
+            plan = make_optimizer(name, query, model).optimize()
+            validate_plan(plan, query, PlanSpace.bushy_cp_free())
+            costs.add(round(plan.cost, 6))
+        assert len(costs) == 1
+
+    def test_cout_and_io_can_disagree_on_plans(self):
+        """The two models optimize different objectives; over many seeds
+        they must eventually pick different join orders."""
+        differ = 0
+        for seed in range(10):
+            query = weighted_query(random_connected_graph(7, 0.4, seed), seed)
+            io_plan = make_optimizer("TBNmc", query, CostModel()).optimize()
+            cout_plan = make_optimizer("TBNmc", query, CoutCostModel()).optimize()
+            if io_plan.sql_like() != cout_plan.sql_like():
+                differ += 1
+        assert differ > 0
+
+
+class TestBoundingStrengthDependsOnModel:
+    """Section 4.3.1: predicted-cost bounding strength tracks how well
+    logical properties predict cost.  Under C_out the prediction is nearly
+    exact, so P prunes far more than under the I/O model."""
+
+    def test_predicted_prunes_more_under_cout(self):
+        query = weighted_query(star(9), 7)
+        ratios = {}
+        for label, model in (("io", CostModel()), ("cout", CoutCostModel())):
+            pruned = Metrics()
+            make_optimizer("TBNmcP", query, model, metrics=pruned).optimize()
+            exhaustive = Metrics()
+            make_optimizer("TBNmc", query, model, metrics=exhaustive).optimize()
+            ratios[label] = (
+                pruned.join_operators_costed / exhaustive.join_operators_costed
+            )
+        assert ratios["cout"] < ratios["io"] * 0.7

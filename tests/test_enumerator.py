@@ -1,0 +1,242 @@
+"""Tests for the top-down partition search (Algorithm 1)."""
+
+import pytest
+
+from repro.analysis.counting import count_join_operators, ono_lohman_join_operators
+from repro.analysis.metrics import Metrics
+from repro.catalog import Query
+from repro.cost.io_model import CostModel
+from repro.enumerator import OptimizationError, TopDownEnumerator
+from repro.memo import MemoTable
+from repro.partition import (
+    MinCutLazy,
+    MinCutLeftDeep,
+    NaiveBushyCP,
+    NaiveLeftDeepCP,
+)
+from repro.plans import validate_plan
+from repro.spaces import PlanSpace
+from repro.workloads import chain, random_connected_graph, star
+from repro.workloads.weights import weighted_query
+
+
+def two_relation_query():
+    return Query.uniform(chain(2), cardinality=10_000, selectivity=0.001)
+
+
+class TestBasics:
+    def test_single_relation(self):
+        q = Query.uniform(chain(1))
+        plan = TopDownEnumerator(q, MinCutLazy()).optimize()
+        assert plan.is_scan
+        assert plan.vertices == 1
+
+    def test_two_relations_hand_checked(self):
+        q = two_relation_query()
+        model = CostModel()
+        plan = TopDownEnumerator(q, MinCutLazy(), model).optimize()
+        # Optimal two-way join: cheapest method over (R0,R1)/(R1,R0).
+        pages = q.pages(1)
+        candidates = []
+        for method in model.JOIN_METHODS:
+            candidates.append(2 * pages + model.join_operator_cost(method, pages, pages))
+        assert plan.cost == pytest.approx(min(candidates))
+        validate_plan(plan, q)
+
+    def test_best_plan_subexpression(self):
+        q = weighted_query(chain(5), 3)
+        enum = TopDownEnumerator(q, MinCutLazy())
+        sub = enum.best_plan(0b00111)
+        validate_plan(sub, q, expected_vertices=0b00111)
+
+    def test_best_plan_disconnected_cp_free_fails(self):
+        q = weighted_query(chain(5), 3)
+        enum = TopDownEnumerator(q, MinCutLazy())
+        with pytest.raises(OptimizationError):
+            enum.best_plan(0b10001)  # disconnected: no CP-free plan
+
+    def test_disconnected_ok_with_cp_space(self):
+        q = weighted_query(chain(5), 3)
+        enum = TopDownEnumerator(q, NaiveBushyCP())
+        plan = enum.best_plan(0b10001)
+        validate_plan(plan, q, expected_vertices=0b10001)
+
+    def test_repeated_optimize_uses_memo(self):
+        q = weighted_query(star(6), 1)
+        metrics = Metrics()
+        enum = TopDownEnumerator(q, MinCutLazy(), metrics=metrics)
+        first = enum.optimize()
+        expansions = metrics.expressions_expanded
+        second = enum.optimize()
+        assert second.cost == first.cost
+        assert metrics.expressions_expanded == expansions  # pure memo hit
+
+
+class TestOptimalityCounters:
+    """The enumerator must enumerate exactly the Ono–Lohman join operators."""
+
+    @pytest.mark.parametrize("topology,maker", [("chain", chain), ("star", star)])
+    @pytest.mark.parametrize("n", [2, 4, 6, 8])
+    def test_bushy_cp_free_counts(self, topology, maker, n):
+        q = weighted_query(maker(n), 5)
+        metrics = Metrics()
+        TopDownEnumerator(q, MinCutLazy(), metrics=metrics).optimize()
+        expected = ono_lohman_join_operators(topology, n, PlanSpace.bushy_cp_free())
+        assert metrics.logical_joins_enumerated == expected
+        # Each logical join costs all three physical methods.
+        assert metrics.join_operators_costed == 3 * expected
+
+    @pytest.mark.parametrize("topology,maker", [("chain", chain), ("star", star)])
+    @pytest.mark.parametrize("n", [2, 4, 6])
+    def test_left_deep_cp_free_counts(self, topology, maker, n):
+        q = weighted_query(maker(n), 5)
+        metrics = Metrics()
+        TopDownEnumerator(q, MinCutLeftDeep(), metrics=metrics).optimize()
+        expected = ono_lohman_join_operators(topology, n, PlanSpace.left_deep_cp_free())
+        assert metrics.logical_joins_enumerated == expected
+
+    def test_random_graph_counts_match_brute_force(self):
+        for seed in range(5):
+            g = random_connected_graph(7, 0.4, seed)
+            q = weighted_query(g, seed)
+            metrics = Metrics()
+            TopDownEnumerator(q, MinCutLazy(), metrics=metrics).optimize()
+            assert metrics.logical_joins_enumerated == count_join_operators(
+                g, PlanSpace.bushy_cp_free()
+            )
+
+    def test_with_cp_counts(self):
+        n = 6
+        q = weighted_query(chain(n), 5)
+        metrics = Metrics()
+        TopDownEnumerator(q, NaiveBushyCP(), metrics=metrics).optimize()
+        assert metrics.logical_joins_enumerated == 3**n - 2 ** (n + 1) + 1
+        metrics2 = Metrics()
+        TopDownEnumerator(q, NaiveLeftDeepCP(), metrics=metrics2).optimize()
+        assert metrics2.logical_joins_enumerated == n * 2 ** (n - 1) - n
+
+    def test_no_reexpansion_without_bounding(self):
+        q = weighted_query(star(7), 5)
+        metrics = Metrics()
+        TopDownEnumerator(q, MinCutLazy(), metrics=metrics).optimize()
+        assert metrics.expressions_reexpanded == 0
+
+
+class TestGracefulMemoDegradation:
+    """Section 5.1: top-down search recomputes missing cells correctly."""
+
+    def test_capacity_zero_still_optimal(self):
+        q = weighted_query(star(5), 9)
+        reference = TopDownEnumerator(q, MinCutLazy()).optimize()
+        constrained = TopDownEnumerator(
+            q, MinCutLazy(), memo=MemoTable(capacity=0)
+        ).optimize()
+        assert constrained.cost == pytest.approx(reference.cost)
+
+    @pytest.mark.parametrize("capacity", [1, 3, 10, 30])
+    def test_any_capacity_still_optimal(self, capacity):
+        q = weighted_query(chain(7), 11)
+        reference = TopDownEnumerator(q, MinCutLazy()).optimize()
+        metrics = Metrics()
+        constrained = TopDownEnumerator(
+            q, MinCutLazy(), memo=MemoTable(capacity=capacity, metrics=metrics),
+            metrics=metrics,
+        ).optimize()
+        assert constrained.cost == pytest.approx(reference.cost)
+        assert metrics.peak_memo_cells <= capacity
+
+    def test_smaller_capacity_recomputes_more(self):
+        # Keep n small: with capacity 0 the recursion re-derives every
+        # subexpression per use, which is exponential by design.
+        q = weighted_query(star(6), 4)
+        expansions = {}
+        for capacity in (None, 8, 0):
+            metrics = Metrics()
+            TopDownEnumerator(
+                q, MinCutLazy(), memo=MemoTable(capacity=capacity), metrics=metrics
+            ).optimize()
+            expansions[capacity] = metrics.expressions_expanded
+        assert expansions[None] <= expansions[8] <= expansions[0]
+        assert expansions[0] > expansions[None]
+
+
+class TestInterestingOrders:
+    """Algorithm 1's demand-driven order machinery."""
+
+    def test_ordered_root_plan_satisfies_order(self):
+        q = weighted_query(chain(4), 7)
+        enum = TopDownEnumerator(q, MinCutLazy())
+        plan = enum.optimize(order=0)
+        assert plan.order == 0
+        validate_plan(plan, q)
+
+    def test_order_never_cheaper_than_unordered(self):
+        q = weighted_query(chain(4), 7)
+        enum = TopDownEnumerator(q, MinCutLazy())
+        unordered = enum.optimize()
+        ordered = enum.optimize(order=0)
+        assert ordered.cost >= unordered.cost
+
+    def test_memo_keyed_by_order(self):
+        q = weighted_query(chain(4), 7)
+        enum = TopDownEnumerator(q, MinCutLazy())
+        enum.optimize(order=0)
+        full = q.graph.all_vertices
+        assert enum.memo.get(q, full, 0) is not None
+        assert enum.memo.get(q, full, None) is not None  # computed as fallback
+
+    def test_smj_can_satisfy_order_without_sort(self):
+        """When the requested order matches a sort-merge join's output,
+        the optimizer may answer without a top-level sort enforcer."""
+        q = Query.uniform(chain(2), cardinality=100_000, selectivity=0.001)
+        enum = TopDownEnumerator(q, MinCutLazy())
+        plan = enum.optimize(order=0)
+        assert plan.order == 0
+        # Either shape is legal, but the plan must cost no more than
+        # sort-on-top-of-best-unordered.
+        unordered = enum.optimize()
+        model = CostModel()
+        assert plan.cost <= model.build_sort(q, unordered, 0).cost + 1e-9
+
+    def test_scan_order_via_sort(self):
+        q = weighted_query(chain(3), 1)
+        enum = TopDownEnumerator(q, MinCutLazy())
+        plan = enum.best_plan(0b001, order=0)
+        assert plan.op == "sort"
+        assert plan.order == 0
+
+
+class TestIndexScans:
+    """Footnote 3's access path: a clustered index produces key order
+    without a sort, which demand-driven order search exploits."""
+
+    def test_index_scan_satisfies_order_directly(self):
+        q = weighted_query(chain(3), 5)
+        model = CostModel(indexed_relations={0})
+        enum = TopDownEnumerator(q, MinCutLazy(), model)
+        plan = enum.best_plan(0b001, order=0)
+        assert plan.op == "iscan"
+        assert plan.order == 0
+
+    def test_index_never_worse_than_sort(self):
+        q = weighted_query(chain(4), 5)
+        plain = TopDownEnumerator(q, MinCutLazy(), CostModel())
+        indexed = TopDownEnumerator(
+            q, MinCutLazy(), CostModel(indexed_relations={0, 1, 2, 3})
+        )
+        for order in range(4):
+            with_index = indexed.optimize(order=order)
+            without = plain.optimize(order=order)
+            assert with_index.cost <= without.cost + 1e-9
+
+    def test_index_only_covers_its_own_relation(self):
+        q = weighted_query(chain(3), 5)
+        model = CostModel(indexed_relations={0})
+        assert model.scan_plans(q, 0b010, order=1) == []
+        assert model.scan_plans(q, 0b001, order=1) == []
+
+    def test_unordered_scan_unaffected(self):
+        q = weighted_query(chain(3), 5)
+        model = CostModel(indexed_relations={0})
+        [scan] = model.scan_plans(q, 0b001, None)
+        assert scan.op == "scan"

@@ -1,0 +1,212 @@
+"""Tests for the experiment harness: every driver produces well-formed
+series, and key paper-shape claims hold at small scale."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.common import ExperimentResult, graph_maker
+from repro.experiments.memory import THRESHOLDS, required_cells
+
+
+class TestCommon:
+    def test_graph_maker_names(self):
+        for name in ("chain", "star", "cycle", "clique", "wheel",
+                     "random-acyclic", "random-cyclic"):
+            g = graph_maker(name)(6, 1)
+            assert g.n == 6
+
+    def test_graph_maker_unknown(self):
+        with pytest.raises(ValueError):
+            graph_maker("moebius")
+
+    def test_render(self):
+        result = ExperimentResult("figX", "demo", ["a", "b"])
+        result.add_row(a=1, b=0.123456)
+        result.add_row(a=2, b=None)
+        text = result.render()
+        assert "figX" in text and "demo" in text
+        assert "0.1235" in text and "-" in text
+
+    def test_column_extraction(self):
+        result = ExperimentResult("figX", "demo", ["a"])
+        result.add_row(a=1)
+        result.add_row(a=2)
+        assert result.column("a") == [1, 2]
+
+    def test_to_json_roundtrip(self):
+        import json
+
+        result = ExperimentResult("figX", "demo", ["a", "b"], notes=["hi"])
+        result.add_row(a=1, b=2.5)
+        decoded = json.loads(result.to_json())
+        assert decoded["experiment_id"] == "figX"
+        assert decoded["rows"] == [{"a": 1, "b": 2.5}]
+        assert decoded["notes"] == ["hi"]
+
+
+class TestExperimentRegistry:
+    def test_all_ids_present(self):
+        expected = {f"fig{i}" for i in range(2, 21)} | {"fig21-24", "fig25-30", "table2"}
+        assert set(EXPERIMENTS) == expected
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return EXPERIMENTS["fig2"]("small")
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return EXPERIMENTS["fig5"]("small")
+
+
+class TestMinCutShapes:
+    def test_fig2_lazy_single_tree_and_dominance(self, fig2):
+        for row in fig2.rows:
+            assert row["lazy_trees"] == 1
+            assert row["eager_trees"] > 1
+        # At the largest size lazy clearly beats eager.
+        last = fig2.rows[-1]
+        assert last["lazy_ms"] < last["eager_ms"]
+
+    def test_fig4_lazy_degrades_to_eager_on_cliques(self):
+        result = EXPERIMENTS["fig4"]("small")
+        last = result.rows[-1]
+        assert last["optimistic_failed"] == 0
+        # Lazy's trees approach eager's (reuse almost never possible).
+        assert last["lazy_trees"] >= 0.8 * last["eager_trees"]
+
+    def test_fig5_optimistic_failures_grow(self, fig5):
+        ratios = [row["optimistic_failed"] / row["cuts"] for row in fig5.rows]
+        assert ratios[-1] > ratios[0]
+        assert all(row["optimistic_failed"] > 0 for row in fig5.rows)
+
+
+class TestExhaustiveShapes:
+    def test_fig6_runs_and_orders(self):
+        result = EXPERIMENTS["fig6"]("small")
+        for row in result.rows:
+            assert row["TLNmc_ms"] > 0
+            # Chains: everything within a small factor (paper: modest gap).
+            assert row["TLNnaive_rel"] < 4
+            assert row["BLNsize_rel"] < 4
+
+    def test_fig9_optimal_algorithms_cluster(self):
+        result = EXPERIMENTS["fig9"]("small")
+        last = result.rows[-1]
+        # The two optimal algorithms stay close; size-driven lags as n grows.
+        assert last["BBNccp_rel"] < 3
+
+    def test_fig9_join_op_counts_match_formula(self):
+        from repro.analysis.counting import ono_lohman_join_operators
+        from repro.spaces import PlanSpace
+
+        result = EXPERIMENTS["fig9"]("small")
+        for row in result.rows:
+            expected = ono_lohman_join_operators(
+                "star", row["n"], PlanSpace.bushy_cp_free()
+            )
+            assert row["TBNmc_joinops"] == expected
+
+
+class TestBoundingShapes:
+    @pytest.fixture(scope="class")
+    def fig16(self):
+        return EXPERIMENTS["fig16"]("small")
+
+    def test_accumulated_storage_pruning(self):
+        result = EXPERIMENTS["fig14"]("small")
+        for row in result.rows:
+            assert row["A_p"] < 1.0          # plans pruned
+            assert row["A_p"] <= row["A_p+lb"]  # bounds add storage back
+            assert row["P_p"] < 1.01
+
+    def test_accumulated_cpu_blowup_trend(self, fig16):
+        rels = [row["A_rel"] for row in fig16.rows]
+        assert rels[-1] > rels[0]  # worsens with size (Section 4.3.2)
+
+    def test_reexpansions_grow(self, fig16):
+        reexp = [row["A_reexpansions"] for row in fig16.rows]
+        assert reexp[-1] > reexp[0] > 0
+
+
+class TestMemoryExperiment:
+    def test_required_cells_positive(self):
+        assert required_cells(6, 1) > 6
+
+    def test_fig21_24_monotone_in_storage(self):
+        result = EXPERIMENTS["fig21-24"]("small")
+        exhaustive_rows = [r for r in result.rows if r["algorithm"] == "TLNmc"]
+        assert exhaustive_rows
+        for row in exhaustive_rows:
+            assert row["0%"] > row["100%"] * 1.05  # recomputation costs
+
+    def test_fig25_30_zero_storage_A_beats_P(self):
+        result = EXPERIMENTS["fig25-30"]("small")
+        zero = [r for r in result.rows if r["threshold"] == "0%"]
+        assert zero
+        # Paper Figure 30: with no memoization, accumulated-cost pruning
+        # always reduces visits, so A beats P at the largest size.
+        last = max(zero, key=lambda r: r["n"])
+        assert last["A_rel"] < last["P_rel"]
+
+    def test_thresholds_cover_paper_grid(self):
+        assert THRESHOLDS == (1.0, 0.25, 0.10, 0.05, 0.01, 0.0)
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def table2(self):
+        return EXPERIMENTS["table2"]("small")
+
+    def test_groups_present(self, table2):
+        spaces = {row["space"] for row in table2.rows}
+        assert spaces == {
+            "Left-Deep CP-free", "Bushy CP-free",
+            "Left-Deep with CPs", "Bushy with CPs",
+        }
+
+    def test_join_op_anchors(self, table2):
+        """Table 2's star n=5 row: 36 / 64 / 75 / 180 join operators."""
+        anchors = {
+            "Left-Deep CP-free": 36,
+            "Bushy CP-free": 64,
+            "Left-Deep with CPs": 75,
+            "Bushy with CPs": 180,
+        }
+        for row in table2.rows:
+            if row["algorithm"] == "(join ops)":
+                assert row["star:5"] == anchors[row["space"]]
+
+    def test_pruned_never_slower_by_much(self, table2):
+        """Predicted-cost variants should not exceed exhaustive by a large
+        factor anywhere in the table (pruning is risk-free)."""
+        by_space: dict[str, dict[str, dict]] = {}
+        for row in table2.rows:
+            by_space.setdefault(row["space"], {})[row["algorithm"]] = row
+        pairs = [
+            ("Left-Deep CP-free", "TLNmc", "TLNmcP"),
+            ("Bushy CP-free", "TBNmc", "TBNmcP"),
+            ("Left-Deep with CPs", "TLCnaive", "TLCnaiveP"),
+            ("Bushy with CPs", "TBCnaive", "TBCnaiveP"),
+        ]
+        for space, exhaustive, pruned in pairs:
+            rows = by_space[space]
+            for cell, value in rows[exhaustive].items():
+                if cell in ("space", "algorithm"):
+                    continue
+                # Loose bound with an absolute floor: the small cells are
+                # sub-millisecond and wall-clock-noisy on a loaded machine.
+                assert rows[pruned][cell] < value * 5 + 2e-3
+
+    def test_cp_pruning_stronger_at_largest_size(self, table2):
+        """Pruning is much more effective in spaces containing CPs."""
+        by_space = {}
+        for row in table2.rows:
+            by_space.setdefault(row["space"], {})[row["algorithm"]] = row
+        cell = "star:8"
+        cp_ratio = (
+            by_space["Bushy with CPs"]["TBCnaiveP"][cell]
+            / by_space["Bushy with CPs"]["TBCnaive"][cell]
+        )
+        assert cp_ratio < 0.8

@@ -1,0 +1,132 @@
+"""Cross-cutting integration tests: every algorithm, every space, one
+truth.
+
+These are the repository's strongest correctness guarantees:
+
+1. all algorithms searching the same space return plans of identical cost;
+2. all returned plans are structurally valid for their space;
+3. larger search spaces never yield worse optima;
+4. the optimal enumeration algorithms (TBNmc, BBNccp) enumerate exactly
+   the same number of join operators.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.plans import validate_plan
+from repro.registry import make_optimizer, parse_name
+from repro.spaces import PlanSpace
+from repro.workloads import chain, clique, cycle, random_connected_graph, star, wheel
+from repro.workloads.weights import weighted_query
+
+SPACE_ALGORITHMS = {
+    PlanSpace.left_deep_cp_free(): [
+        "TLNmc", "TLNnaive", "BLNsize", "TLNmcA", "TLNmcP", "TLNmcAP",
+    ],
+    PlanSpace.left_deep_with_cp(): [
+        "TLCnaive", "BLCsize", "TLCnaiveP", "TLCnaiveA",
+    ],
+    PlanSpace.bushy_cp_free(): [
+        "TBNmc", "TBNmcopt", "TBNnaive", "BBNsize", "BBNnaive", "BBNccp",
+        "TBNmcA", "TBNmcP", "TBNmcAP",
+    ],
+    PlanSpace.bushy_with_cp(): [
+        "TBCnaive", "BBCsize", "BBCnaive", "TBCnaiveP", "TBCnaiveA",
+    ],
+}
+
+
+def optimize_all(query):
+    """Run every algorithm; return {space: {name: cost}} with validation."""
+    costs = {}
+    for space, names in SPACE_ALGORITHMS.items():
+        costs[space] = {}
+        for name in names:
+            plan = make_optimizer(name, query).optimize()
+            validate_plan(plan, query, space)
+            costs[space][name] = plan.cost
+    return costs
+
+
+def assert_consistent(costs):
+    for space, by_name in costs.items():
+        values = list(by_name.values())
+        reference = values[0]
+        for name, cost in by_name.items():
+            assert cost == pytest.approx(reference), (space.describe(), name, by_name)
+    # Space-inclusion ordering on the optima.
+    ld_free = next(iter(costs[PlanSpace.left_deep_cp_free()].values()))
+    ld_cp = next(iter(costs[PlanSpace.left_deep_with_cp()].values()))
+    b_free = next(iter(costs[PlanSpace.bushy_cp_free()].values()))
+    b_cp = next(iter(costs[PlanSpace.bushy_with_cp()].values()))
+    eps = 1e-9
+    assert ld_cp <= ld_free * (1 + eps) + eps
+    assert b_free <= ld_free * (1 + eps) + eps
+    assert b_cp <= min(ld_cp, b_free) * (1 + eps) + eps
+
+
+class TestFixedTopologies:
+    @pytest.mark.parametrize(
+        "maker,n", [(chain, 6), (star, 6), (cycle, 6), (clique, 5), (wheel, 6)],
+        ids=["chain", "star", "cycle", "clique", "wheel"],
+    )
+    def test_all_algorithms_agree(self, maker, n):
+        query = weighted_query(maker(n), 12345)
+        assert_consistent(optimize_all(query))
+
+
+class TestRandomQueries:
+    @given(
+        seed=st.integers(0, 100_000),
+        cyclicity=st.sampled_from([0.0, 0.3, 0.6]),
+        n=st.integers(4, 7),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_all_algorithms_agree(self, seed, cyclicity, n):
+        query = weighted_query(random_connected_graph(n, cyclicity, seed), seed)
+        assert_consistent(optimize_all(query))
+
+
+class TestOptimalEnumeratorsMatch:
+    """TBNmc and BBNccp must consider exactly the same join operators."""
+
+    @given(seed=st.integers(0, 50_000))
+    @settings(max_examples=15, deadline=None)
+    def test_counters_equal(self, seed):
+        from repro.analysis.metrics import Metrics
+
+        query = weighted_query(random_connected_graph(7, 0.4, seed), seed)
+        top = Metrics()
+        make_optimizer("TBNmc", query, metrics=top).optimize()
+        bottom = Metrics()
+        make_optimizer("BBNccp", query, metrics=bottom).optimize()
+        assert top.logical_joins_enumerated == bottom.logical_joins_enumerated
+        assert top.join_operators_costed == bottom.join_operators_costed
+
+
+class TestExtremeStatistics:
+    """Degenerate statistics must not break agreement."""
+
+    def test_tiny_cardinalities(self):
+        from repro.catalog import Query
+
+        query = Query.uniform(cycle(5), cardinality=1.0, selectivity=1.0)
+        assert_consistent(optimize_all(query))
+
+    def test_huge_cardinalities(self):
+        from repro.catalog import Query
+
+        query = Query.uniform(star(5), cardinality=1e12, selectivity=1e-9)
+        assert_consistent(optimize_all(query))
+
+    def test_mixed_magnitudes(self):
+        from repro.catalog import Catalog, Query
+
+        cat = Catalog()
+        for i, card in enumerate([1, 1e9, 30, 1e7, 500]):
+            cat.add_relation(f"R{i}", card)
+        for i in range(4):
+            cat.add_predicate(i, i + 1, 10.0 ** -(i + 1))
+        query = Query.from_catalog(cat)
+        assert_consistent(optimize_all(query))

@@ -1,0 +1,156 @@
+"""Tests for the bitmap-encoded join graph."""
+
+import networkx as nx
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bitset import iter_bits, iter_subsets, mask_of, set_of
+from repro.core.joingraph import Edge, JoinGraph
+from repro.workloads import chain, clique, cycle, random_connected_graph, star
+
+
+def to_networkx(graph: JoinGraph, subset: int | None = None) -> nx.Graph:
+    nxg = nx.Graph()
+    members = graph.all_vertices if subset is None else subset
+    nxg.add_nodes_from(iter_bits(members))
+    for e in graph.edges:
+        if e.mask & members == e.mask:
+            nxg.add_edge(e.u, e.v)
+    return nxg
+
+
+class TestEdge:
+    def test_normalization(self):
+        assert Edge(3, 1) == Edge(1, 3)
+        assert Edge(3, 1).u == 1
+        assert Edge(3, 1).v == 3
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Edge(2, 2)
+
+    def test_mask(self):
+        assert Edge(1, 3).mask == 0b1010
+
+    def test_ordering(self):
+        assert sorted([Edge(2, 3), Edge(0, 5), Edge(0, 1)]) == [
+            Edge(0, 1), Edge(0, 5), Edge(2, 3)
+        ]
+
+
+class TestConstruction:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            JoinGraph(0, [])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(ValueError):
+            JoinGraph(3, [(0, 3)])
+
+    def test_duplicate_edges_collapse(self):
+        g = JoinGraph(3, [(0, 1), (1, 0), (1, 2)])
+        assert g.edge_count() == 2
+
+    def test_from_edge_list(self):
+        g = JoinGraph.from_edge_list([(0, 4), (4, 2)])
+        assert g.n == 5
+        assert g.has_edge(0, 4) and g.has_edge(2, 4)
+
+    def test_from_empty_edge_list_rejected(self):
+        with pytest.raises(ValueError):
+            JoinGraph.from_edge_list([])
+
+    def test_equality_and_hash(self):
+        a = JoinGraph(3, [(0, 1), (1, 2)])
+        b = JoinGraph(3, [(1, 2), (0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != JoinGraph(3, [(0, 1), (0, 2)])
+
+    def test_single_vertex(self):
+        g = JoinGraph(1, [])
+        assert g.is_connected()
+        assert g.all_vertices == 1
+
+
+class TestQueries:
+    def test_neighbors(self):
+        g = star(5)
+        assert g.neighbors[0] == 0b11110
+        assert g.neighbors[3] == 0b00001
+        assert g.degree(0) == 4
+        assert g.degree(1) == 1
+
+    def test_neighbors_of_set(self):
+        g = chain(5)
+        assert g.neighbors_of_set(mask_of([1, 2])) == mask_of([0, 3])
+        assert g.neighbors_of_set(mask_of([1, 2]), within=mask_of([1, 2, 3])) == mask_of([3])
+
+    def test_connects(self):
+        g = chain(4)
+        assert g.connects(mask_of([0, 1]), mask_of([2, 3]))
+        assert not g.connects(mask_of([0]), mask_of([2, 3]))
+
+    def test_edges_within(self):
+        g = cycle(5)
+        inner = list(g.edges_within(mask_of([0, 1, 2])))
+        assert inner == [Edge(0, 1), Edge(1, 2)]
+        assert g.edge_count_within(g.all_vertices) == 5
+
+    def test_relabelled(self):
+        g = chain(4)
+        h = g.relabelled([3, 2, 1, 0])
+        assert h == chain(4)  # chain is symmetric under reversal
+        with pytest.raises(ValueError):
+            g.relabelled([0, 0, 1, 2])
+
+    def test_vertex_masks(self):
+        assert list(chain(3).vertex_masks()) == [1, 2, 4]
+
+
+class TestConnectivity:
+    def test_full_graph(self):
+        assert chain(6).is_connected()
+        disconnected = JoinGraph(4, [(0, 1), (2, 3)])
+        assert not disconnected.is_connected()
+
+    def test_empty_subset(self):
+        assert not chain(3).is_connected(0)
+
+    def test_singleton_subset(self):
+        assert chain(3).is_connected(0b100)
+
+    def test_chain_interval_rule(self):
+        g = chain(6)
+        for subset in iter_subsets(g.all_vertices):
+            bits = sorted(iter_bits(subset))
+            is_interval = bits == list(range(bits[0], bits[-1] + 1))
+            assert g.is_connected(subset) == is_interval
+
+    def test_star_hub_rule(self):
+        g = star(6)
+        for subset in iter_subsets(g.all_vertices):
+            expected = subset & 1 or subset & (subset - 1) == 0
+            assert g.is_connected(subset) == bool(expected)
+
+    def test_components(self):
+        g = chain(6)
+        comps = g.connected_components(mask_of([0, 1, 3, 5]))
+        assert sorted(comps) == sorted([mask_of([0, 1]), mask_of([3]), mask_of([5])])
+
+    def test_reachable_from(self):
+        g = chain(5)
+        assert g.reachable_from(1, mask_of([0, 1, 3, 4])) == mask_of([0, 1])
+
+    @given(st.integers(0, 10_000))
+    def test_matches_networkx_on_random_graphs(self, seed):
+        g = random_connected_graph(7, 0.3, seed)
+        for subset in iter_subsets(g.all_vertices):
+            nxg = to_networkx(g, subset)
+            assert g.is_connected(subset) == nx.is_connected(nxg)
+
+    def test_clique_always_connected(self):
+        g = clique(6)
+        for subset in iter_subsets(g.all_vertices):
+            assert g.is_connected(subset)

@@ -1,0 +1,88 @@
+"""Tests for multi-phase optimization (Section 5.2)."""
+
+import pytest
+
+from repro.multiphase import optimize_multiphase
+from repro.registry import optimize
+from repro.workloads import chain, random_connected_graph, star
+from repro.workloads.weights import weighted_query
+
+
+class TestTwoPhase:
+    @pytest.mark.parametrize(
+        "phases,final",
+        [
+            (["TLNmc", "TLCnaive"], "TLCnaive"),
+            (["TLNmcP", "TLCnaiveP"], "TLCnaive"),
+            (["TBNmc", "TBCnaive"], "TBCnaive"),
+            (["TBNmcP", "TBCnaiveP"], "TBCnaive"),
+        ],
+        ids=lambda x: "+".join(x) if isinstance(x, list) else x,
+    )
+    def test_final_plan_is_global_optimum(self, phases, final):
+        for seed in range(3):
+            query = weighted_query(random_connected_graph(6, 0.3, seed), seed)
+            result = optimize_multiphase(query, phases)
+            reference = optimize(final, query)
+            assert result.plan.cost == pytest.approx(reference.cost)
+
+    def test_phase_results_recorded(self):
+        query = weighted_query(star(6), 5)
+        result = optimize_multiphase(query, ["TBNmcP", "TBCnaiveP"])
+        assert len(result.phases) == 2
+        assert result.phases[0].algorithm == "TBNmcP"
+        # Phase 1 (smaller space) can never beat phase 2.
+        assert result.phases[1].plan.cost <= result.phases[0].plan.cost + 1e-9
+
+    def test_total_metrics_accumulate(self):
+        query = weighted_query(star(6), 5)
+        result = optimize_multiphase(query, ["TBNmcP", "TBCnaiveP"])
+        total = result.total_metrics
+        assert total.logical_joins_enumerated >= max(
+            p.metrics.logical_joins_enumerated for p in result.phases
+        )
+
+    def test_seeding_reduces_second_phase_work(self):
+        """With predicted-cost pruning, the phase-1 optimum strengthens
+        phase-2 pruning relative to running phase 2 cold."""
+        improved = 0
+        trials = 6
+        for seed in range(trials):
+            query = weighted_query(random_connected_graph(7, 0.0, seed), seed + 100)
+            two_phase = optimize_multiphase(query, ["TBNmcP", "TBCnaiveP"])
+            from repro.analysis.metrics import Metrics
+            from repro.registry import make_optimizer
+
+            cold = Metrics()
+            make_optimizer("TBCnaiveP", query, metrics=cold).optimize()
+            seeded_phase2 = two_phase.phases[1].metrics
+            if seeded_phase2.join_operators_costed <= cold.join_operators_costed:
+                improved += 1
+        assert improved >= trials // 2
+
+
+class TestValidation:
+    def test_empty_phase_list(self):
+        query = weighted_query(chain(3), 1)
+        with pytest.raises(ValueError):
+            optimize_multiphase(query, [])
+
+    def test_bottom_up_second_phase_rejected(self):
+        query = weighted_query(chain(3), 1)
+        with pytest.raises(ValueError):
+            optimize_multiphase(query, ["TBNmc", "BBCnaive"])
+
+    def test_bottom_up_first_phase_allowed(self):
+        query = weighted_query(chain(4), 1)
+        result = optimize_multiphase(query, ["BBNccp", "TBCnaiveP"])
+        assert result.plan.cost <= result.phases[0].plan.cost + 1e-9
+
+    def test_unknown_name_fails_fast(self):
+        query = weighted_query(chain(3), 1)
+        with pytest.raises(ValueError):
+            optimize_multiphase(query, ["TBNmc", "NOPE"])
+
+    def test_single_phase(self):
+        query = weighted_query(chain(4), 3)
+        result = optimize_multiphase(query, ["TBNmc"])
+        assert result.plan.cost == pytest.approx(optimize("TBNmc", query).cost)

@@ -1,0 +1,73 @@
+"""Tests for the query DSL parser."""
+
+import pytest
+
+from repro.catalog.parser import QuerySyntaxError, parse_query
+from repro.registry import optimize
+
+TPCH_ISH = (
+    "orders(1e6) customer(100000) nation(25) region(5);"
+    "orders-customer:1e-5 customer-nation:0.04 nation-region:0.2"
+)
+
+
+class TestParsing:
+    def test_happy_path(self):
+        query = parse_query(TPCH_ISH)
+        assert query.n == 4
+        assert query.relations[0].name == "orders"
+        assert query.relations[0].cardinality == 1e6
+        assert query.selectivity[(0, 1)] == 1e-5
+        assert query.graph.has_edge(2, 3)
+
+    def test_optimizable(self):
+        query = parse_query(TPCH_ISH)
+        plan = optimize("TBNmc", query)
+        assert set(plan.leaf_relations()) == {"orders", "customer", "nation", "region"}
+
+    def test_whitespace_and_newlines(self):
+        query = parse_query("a(10)\n  b(20) ;\n a-b:0.5\n")
+        assert query.n == 2
+
+    def test_single_relation(self):
+        query = parse_query("solo(42);")
+        assert query.n == 1
+        assert query.graph.edge_count() == 0
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(QuerySyntaxError, match=";"):
+            parse_query("a(10) b(20) a-b:0.5")
+
+    def test_two_semicolons(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("a(10); a-b:0.5; extra")
+
+    def test_bad_relation_token(self):
+        with pytest.raises(QuerySyntaxError, match="bad relation"):
+            parse_query("a[10]; ")
+
+    def test_bad_cardinality(self):
+        with pytest.raises(QuerySyntaxError, match="cardinality"):
+            parse_query("a(ten); ")
+
+    def test_bad_predicate_token(self):
+        with pytest.raises(QuerySyntaxError, match="bad predicate"):
+            parse_query("a(1) b(2); a~b=0.5")
+
+    def test_unknown_relation_in_predicate(self):
+        with pytest.raises(QuerySyntaxError, match="unknown relation"):
+            parse_query("a(1) b(2); a-c:0.5")
+
+    def test_disconnected_graph(self):
+        with pytest.raises(QuerySyntaxError, match="connected"):
+            parse_query("a(1) b(2) c(3) d(4); a-b:0.5 c-d:0.5")
+
+    def test_no_relations(self):
+        with pytest.raises(QuerySyntaxError, match="no relations"):
+            parse_query("; a-b:0.5")
+
+    def test_bad_selectivity_value(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("a(1) b(2); a-b:2.0")

@@ -1,0 +1,193 @@
+"""Tests for the minimal-cut partitioning strategies against the
+brute-force oracle, plus the Section 3.3 performance-profile claims."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import Metrics
+from repro.core.bitset import bit, mask_of, popcount
+from repro.partition import (
+    BruteForceMinCuts,
+    MinCutEager,
+    MinCutLazy,
+    MinCutLeftDeep,
+    MinCutOptimistic,
+    minimal_cut_pairs,
+)
+from repro.workloads import (
+    binary_tree,
+    chain,
+    clique,
+    cycle,
+    grid,
+    random_connected_graph,
+    star,
+    wheel,
+)
+
+from tests.helpers import small_graphs
+
+ALL_STRATEGIES = [
+    MinCutLazy(),
+    MinCutLazy(size3_tweak=True),
+    MinCutEager(),
+    MinCutOptimistic(),
+    BruteForceMinCuts(),
+]
+
+
+def ordered_oracle(graph, subset=None):
+    pairs = minimal_cut_pairs(graph, subset)
+    return sorted(itertools.chain.from_iterable([(a, b), (b, a)] for a, b in pairs))
+
+
+def run(strategy, graph, subset=None, **kwargs):
+    metrics = Metrics()
+    subset = graph.all_vertices if subset is None else subset
+    parts = list(strategy.partitions(graph, subset, metrics))
+    return parts, metrics
+
+
+class TestExactness:
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES, ids=lambda s: repr(s))
+    def test_small_graph_zoo(self, strategy):
+        for graph in small_graphs():
+            parts, _ = run(strategy, graph)
+            assert sorted(parts) == ordered_oracle(graph), graph
+
+    @pytest.mark.parametrize(
+        "strategy", [MinCutLazy(), MinCutEager(), MinCutOptimistic()],
+        ids=["lazy", "eager", "optimistic"],
+    )
+    @given(seed=st.integers(0, 50_000), cyclicity=st.sampled_from([0.0, 0.3, 0.6]))
+    @settings(max_examples=40, deadline=None)
+    def test_random_graphs(self, strategy, seed, cyclicity):
+        graph = random_connected_graph(8, cyclicity, seed)
+        parts, _ = run(strategy, graph)
+        assert sorted(parts) == ordered_oracle(graph)
+
+    def test_subset_partitioning(self):
+        graph = grid(3, 3)
+        subset = mask_of([0, 1, 2, 4, 5])
+        parts, _ = run(MinCutLazy(), graph, subset)
+        assert sorted(parts) == ordered_oracle(graph, subset)
+
+    def test_no_duplicates(self):
+        for graph in [clique(6), wheel(8), grid(3, 3)]:
+            parts, _ = run(MinCutLazy(), graph)
+            assert len(parts) == len(set(parts))
+
+    def test_anchor_choice_does_not_change_cuts(self):
+        graph = wheel(8)
+        baseline = sorted(run(MinCutLazy(), graph)[0])
+        for anchor in range(graph.n):
+            for strategy in (MinCutLazy(anchor=anchor), MinCutOptimistic(anchor=anchor)):
+                parts, _ = run(strategy, graph)
+                assert sorted(parts) == baseline
+
+    def test_singleton_and_pair(self):
+        g = chain(2)
+        parts, _ = run(MinCutLazy(), g, 0b01)
+        assert parts == []
+        parts, _ = run(MinCutLazy(), g)
+        assert sorted(parts) == [(0b01, 0b10), (0b10, 0b01)]
+
+
+class TestLazinessProfile:
+    """Section 3.3.1's analysis of biconnection-tree construction counts."""
+
+    def test_acyclic_builds_exactly_one_tree(self):
+        for graph in [chain(12), star(12), binary_tree(15),
+                      random_connected_graph(12, 0.0, 9)]:
+            _, metrics = run(MinCutLazy(), graph)
+            assert metrics.bcc_trees_built == 1
+
+    def test_eager_builds_one_tree_per_invocation(self):
+        graph = chain(8)
+        _, metrics = run(MinCutEager(), graph)
+        # Every recursive invocation past the early-exit builds a tree.
+        assert metrics.bcc_trees_built > graph.n // 2
+
+    def test_clique_lazy_degrades_to_eager(self):
+        graph = clique(7)
+        _, lazy = run(MinCutLazy(), graph)
+        _, eager = run(MinCutEager(), graph)
+        # Trees are almost never reusable on cliques.
+        assert lazy.bcc_trees_built >= eager.bcc_trees_built * 0.8
+
+    def test_size3_tweak_reduces_rebuilds_on_triangles(self):
+        graph = cycle(3)
+        _, plain = run(MinCutLazy(), graph)
+        _, tweaked = run(MinCutLazy(size3_tweak=True), graph)
+        assert tweaked.bcc_trees_built <= plain.bcc_trees_built
+
+    def test_usability_hits_counted(self):
+        _, metrics = run(MinCutLazy(), chain(10))
+        assert metrics.usability_hits > 0
+        assert metrics.usability_hits <= metrics.usability_tests
+
+
+class TestOptimisticProfile:
+    """Section 3.3.2's failure accounting for MinCutOptimistic."""
+
+    def test_clique_zero_failures(self):
+        _, metrics = run(MinCutOptimistic(), clique(8))
+        assert metrics.failed_connectivity_tests == 0
+
+    def test_acyclic_failures_below_cuts(self):
+        for graph in [chain(10), binary_tree(15), random_connected_graph(11, 0.0, 4)]:
+            _, metrics = run(MinCutOptimistic(), graph)
+            cuts = metrics.partitions_emitted // 2
+            assert metrics.failed_connectivity_tests < cuts
+
+    def test_wheel_rim_anchor_worst_case(self):
+        """With a rim anchor the hub enters S first and failures grow
+        superlinearly in the cut count (paper Figure 5)."""
+        graph = wheel(12)
+        _, hub_anchor = run(MinCutOptimistic(), graph)
+        _, rim_anchor = run(MinCutOptimistic(anchor=1), graph)
+        cuts = rim_anchor.partitions_emitted // 2
+        assert hub_anchor.failed_connectivity_tests == 0
+        assert rim_anchor.failed_connectivity_tests > cuts
+
+    def test_wheel_failures_scale_with_size(self):
+        failures = {}
+        for n in (8, 12, 16):
+            _, metrics = run(MinCutOptimistic(anchor=1), wheel(n))
+            cuts = metrics.partitions_emitted // 2
+            failures[n] = metrics.failed_connectivity_tests / cuts
+        assert failures[16] > failures[8]
+
+
+class TestLeftDeepMinCut:
+    def test_star_partitions(self):
+        graph = star(5)
+        parts, _ = run(MinCutLeftDeep(), graph)
+        # Leaves only; the hub is an articulation vertex.
+        assert sorted(right for _, right in parts) == [bit(i) for i in range(1, 5)]
+
+    def test_two_vertices(self):
+        parts, _ = run(MinCutLeftDeep(), chain(2))
+        assert sorted(parts) == [(0b01, 0b10), (0b10, 0b01)]
+
+    def test_matches_naive_filtering(self):
+        from repro.partition import NaiveLeftDeepCPFree
+
+        for graph in small_graphs():
+            if graph.n < 2:
+                continue
+            mc, _ = run(MinCutLeftDeep(), graph)
+            naive, _ = run(NaiveLeftDeepCPFree(), graph)
+            assert sorted(mc) == sorted(naive)
+
+    def test_singleton_guard(self):
+        parts, _ = run(MinCutLeftDeep(), chain(3), 0b010)
+        assert parts == []
+
+    def test_counts_no_connectivity_tests(self):
+        _, metrics = run(MinCutLeftDeep(), cycle(8))
+        assert metrics.connectivity_tests == 0
+        assert metrics.bcc_trees_built == 1

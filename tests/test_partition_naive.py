@@ -1,0 +1,116 @@
+"""Tests for the naive partitioning strategies (Section 3.2)."""
+
+from repro.analysis.metrics import Metrics
+from repro.core.bitset import iter_subsets, mask_of, popcount
+from repro.partition import (
+    NaiveBushyCP,
+    NaiveBushyCPFree,
+    NaiveLeftDeepCP,
+    NaiveLeftDeepCPFree,
+)
+from repro.workloads import chain, clique, cycle, star
+
+from tests.helpers import small_graphs
+
+
+def collect(strategy, graph, subset=None):
+    metrics = Metrics()
+    subset = graph.all_vertices if subset is None else subset
+    return list(strategy.partitions(graph, subset, metrics)), metrics
+
+
+class TestLeftDeepCP:
+    def test_emits_one_per_vertex(self):
+        g = clique(5)
+        parts, metrics = collect(NaiveLeftDeepCP(), g)
+        assert len(parts) == 5
+        assert metrics.partitions_emitted == 5
+
+    def test_right_side_singletons(self):
+        g = chain(4)
+        parts, _ = collect(NaiveLeftDeepCP(), g)
+        for left, right in parts:
+            assert popcount(right) == 1
+            assert left | right == g.all_vertices
+            assert left & right == 0
+
+    def test_singleton_guard(self):
+        parts, _ = collect(NaiveLeftDeepCP(), chain(3), 0b100)
+        assert parts == []
+
+    def test_disconnected_subset_still_partitions(self):
+        # With CPs the subset need not be connected.
+        g = chain(4)
+        parts, _ = collect(NaiveLeftDeepCP(), g, mask_of([0, 2]))
+        assert len(parts) == 2
+
+
+class TestLeftDeepCPFree:
+    def test_chain_keeps_endpoints_only(self):
+        g = chain(5)
+        parts, metrics = collect(NaiveLeftDeepCPFree(), g)
+        rights = sorted(right for _, right in parts)
+        assert rights == [1 << 0, 1 << 4]
+        assert metrics.failed_connectivity_tests == 3
+
+    def test_star_rejects_hub(self):
+        g = star(5)
+        parts, _ = collect(NaiveLeftDeepCPFree(), g)
+        assert all(right != 1 for _, right in parts)
+        assert len(parts) == 4
+
+    def test_two_relations_both_orders(self):
+        g = chain(2)
+        parts, _ = collect(NaiveLeftDeepCPFree(), g)
+        assert sorted(parts) == [(0b01, 0b10), (0b10, 0b01)]
+
+
+class TestBushyCP:
+    def test_counts(self):
+        g = chain(4)
+        parts, metrics = collect(NaiveBushyCP(), g)
+        assert len(parts) == 2**4 - 2
+        assert metrics.partitions_emitted == 14
+
+    def test_all_ordered_splits(self):
+        g = chain(3)
+        parts, _ = collect(NaiveBushyCP(), g)
+        expected = {
+            (left, g.all_vertices ^ left)
+            for left in iter_subsets(g.all_vertices, proper=True)
+        }
+        assert set(parts) == expected
+
+
+class TestBushyCPFree:
+    def test_chain_keeps_prefix_suffix_splits(self):
+        g = chain(4)
+        parts, _ = collect(NaiveBushyCPFree(), g)
+        # Intervals only: {0}|{1,2,3}, {0,1}|{2,3}, {0,1,2}|{3} and mirrors.
+        assert len(parts) == 6
+
+    def test_failure_accounting(self):
+        g = star(5)
+        parts, metrics = collect(NaiveBushyCPFree(), g)
+        # Valid cuts: hub-side vs single leaf -> 4 unordered, 8 ordered.
+        assert len(parts) == 8
+        assert metrics.failed_connectivity_tests > 0
+        assert metrics.partitions_emitted == 8
+
+    def test_both_sides_connected(self):
+        for g in small_graphs():
+            parts, _ = collect(NaiveBushyCPFree(), g)
+            for left, right in parts:
+                assert g.is_connected(left)
+                assert g.is_connected(right)
+                assert left | right == g.all_vertices
+
+    def test_clique_no_failures(self):
+        g = clique(5)
+        _, metrics = collect(NaiveBushyCPFree(), g)
+        assert metrics.failed_connectivity_tests == 0
+
+    def test_cycle_counts(self):
+        g = cycle(5)
+        parts, _ = collect(NaiveBushyCPFree(), g)
+        assert len(parts) == 5 * 4  # n(n-1) ordered splits of the full cycle

@@ -1,0 +1,102 @@
+"""Tests for the Section 5.1 flexible memo: sharing plans across queries.
+
+The paper's motivating example: after optimizing Q1 = A ⋈ B ⋈ C, a
+top-down optimizer starting Q2 = B ⋈ C ⋈ D on the same memo finds the BC
+subplan already present and skips an entire subtree.
+"""
+
+import pytest
+
+from repro.analysis.metrics import Metrics
+from repro.catalog import Catalog, Query
+from repro.enumerator import TopDownEnumerator
+from repro.memo import GlobalPlanCache
+from repro.partition import MinCutLazy
+from repro.plans import validate_plan
+from repro.spaces import PlanSpace
+
+
+def make_chain_query(names: list[str], cards: dict[str, float], sel: float = 0.01) -> Query:
+    cat = Catalog()
+    for name in names:
+        cat.add_relation(name, cards[name])
+    for i in range(len(names) - 1):
+        cat.add_predicate(i, i + 1, sel)
+    return Query.from_catalog(cat)
+
+
+CARDS = {"A": 1000.0, "B": 2000.0, "C": 4000.0, "D": 8000.0, "E": 500.0}
+
+
+class TestCrossQueryReuse:
+    def test_paper_example(self):
+        """Q1 then Q2 with a shared cache: BC comes from the cache."""
+        cache = GlobalPlanCache()
+        q1 = make_chain_query(["A", "B", "C"], CARDS)
+        q2 = make_chain_query(["B", "C", "D"], CARDS)
+
+        TopDownEnumerator(q1, MinCutLazy(), memo=cache).optimize()
+
+        metrics = Metrics()
+        enum2 = TopDownEnumerator(q2, MinCutLazy(), memo=cache, metrics=metrics)
+        plan2 = enum2.optimize()
+        validate_plan(plan2, q2, PlanSpace.bushy_cp_free())
+        # B, C, and BC are found in the cache: at least three hits.
+        assert metrics.memo_hits >= 3
+
+    def test_shared_results_identical_to_cold(self):
+        cache = GlobalPlanCache()
+        q1 = make_chain_query(["A", "B", "C"], CARDS)
+        q2 = make_chain_query(["B", "C", "D"], CARDS)
+        TopDownEnumerator(q1, MinCutLazy(), memo=cache).optimize()
+        warm = TopDownEnumerator(q2, MinCutLazy(), memo=cache).optimize()
+        cold = TopDownEnumerator(q2, MinCutLazy()).optimize()
+        assert warm.cost == pytest.approx(cold.cost)
+        assert warm.vertices == q2.graph.all_vertices
+
+    def test_warm_cache_reduces_expansions(self):
+        cache = GlobalPlanCache()
+        q1 = make_chain_query(["A", "B", "C", "D"], CARDS)
+        q2 = make_chain_query(["B", "C", "D", "E"], CARDS)
+
+        cold_metrics = Metrics()
+        TopDownEnumerator(q2, MinCutLazy(), metrics=cold_metrics).optimize()
+
+        TopDownEnumerator(q1, MinCutLazy(), memo=cache).optimize()
+        warm_metrics = Metrics()
+        TopDownEnumerator(q2, MinCutLazy(), memo=cache, metrics=warm_metrics).optimize()
+        assert warm_metrics.expressions_expanded < cold_metrics.expressions_expanded
+
+    def test_different_statistics_not_conflated(self):
+        """The canonical key includes cardinalities: a same-named relation
+        with different stats must not reuse stale plans."""
+        cache = GlobalPlanCache()
+        q1 = make_chain_query(["A", "B", "C"], CARDS)
+        TopDownEnumerator(q1, MinCutLazy(), memo=cache).optimize()
+
+        altered = dict(CARDS, B=999_999.0)
+        q2 = make_chain_query(["B", "C", "D"], altered)
+        metrics = Metrics()
+        plan = TopDownEnumerator(q2, MinCutLazy(), memo=cache, metrics=metrics).optimize()
+        cold = TopDownEnumerator(q2, MinCutLazy()).optimize()
+        assert plan.cost == pytest.approx(cold.cost)
+
+    def test_different_selectivity_not_conflated(self):
+        cache = GlobalPlanCache()
+        q1 = make_chain_query(["A", "B", "C"], CARDS, sel=0.01)
+        q2 = make_chain_query(["A", "B", "C"], CARDS, sel=0.5)
+        TopDownEnumerator(q1, MinCutLazy(), memo=cache).optimize()
+        plan = TopDownEnumerator(q2, MinCutLazy(), memo=cache).optimize()
+        cold = TopDownEnumerator(q2, MinCutLazy()).optimize()
+        assert plan.cost == pytest.approx(cold.cost)
+
+    def test_eviction_tolerated(self):
+        """A capacity-limited shared cache stays correct (Section 5.1's
+        graceful degradation applies to the global cache too)."""
+        cache = GlobalPlanCache(capacity=3)
+        q1 = make_chain_query(["A", "B", "C", "D"], CARDS)
+        q2 = make_chain_query(["B", "C", "D", "E"], CARDS)
+        TopDownEnumerator(q1, MinCutLazy(), memo=cache).optimize()
+        warm = TopDownEnumerator(q2, MinCutLazy(), memo=cache).optimize()
+        cold = TopDownEnumerator(q2, MinCutLazy()).optimize()
+        assert warm.cost == pytest.approx(cold.cost)

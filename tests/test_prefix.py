@@ -1,0 +1,97 @@
+"""Tests for prefix search (Section 2.3, the SQL Anywhere approach)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.plans import validate_plan
+from repro.prefix import PrefixSearchOptimizer
+from repro.registry import make_optimizer
+from repro.spaces import PlanSpace
+from repro.workloads import chain, random_connected_graph, star
+from repro.workloads.weights import weighted_query
+
+
+class TestAdmissibleMode:
+    @given(seed=st.integers(0, 20_000))
+    @settings(max_examples=15, deadline=None)
+    def test_cp_free_optimal(self, seed):
+        query = weighted_query(random_connected_graph(7, 0.3, seed), seed)
+        plan = PrefixSearchOptimizer(query).optimize()
+        reference = make_optimizer("TLNmc", query).optimize()
+        assert plan.cost == pytest.approx(reference.cost)
+        validate_plan(plan, query, PlanSpace.left_deep_cp_free())
+
+    def test_with_cp_optimal(self):
+        for seed in range(4):
+            query = weighted_query(random_connected_graph(6, 0.3, seed), seed)
+            plan = PrefixSearchOptimizer(query, cp_free=False).optimize()
+            reference = make_optimizer("TLCnaive", query).optimize()
+            assert plan.cost == pytest.approx(reference.cost)
+            validate_plan(plan, query, PlanSpace.left_deep_with_cp())
+
+    def test_single_relation(self):
+        query = weighted_query(chain(1), 0)
+        assert PrefixSearchOptimizer(query).optimize().is_scan
+
+    def test_orders_unsupported(self):
+        query = weighted_query(chain(3), 0)
+        with pytest.raises(NotImplementedError):
+            PrefixSearchOptimizer(query).optimize(order=0)
+
+
+class TestAggressiveMode:
+    def test_invalid_factor(self):
+        query = weighted_query(chain(3), 0)
+        with pytest.raises(ValueError):
+            PrefixSearchOptimizer(query, aggressiveness=0.5)
+
+    def test_prunes_more_and_never_beats_optimum(self):
+        query = weighted_query(star(9), 5)
+        exact = PrefixSearchOptimizer(query)
+        exact_plan = exact.optimize()
+        aggressive = PrefixSearchOptimizer(query, aggressiveness=2.0)
+        aggressive_plan = aggressive.optimize()
+        assert aggressive.prefixes_explored < exact.prefixes_explored
+        assert aggressive_plan.cost >= exact_plan.cost - 1e-9
+        validate_plan(aggressive_plan, query, PlanSpace.left_deep_cp_free())
+
+    def test_extreme_aggressiveness_still_returns_a_plan(self):
+        query = weighted_query(star(8), 5)
+        optimizer = PrefixSearchOptimizer(query, aggressiveness=100.0)
+        plan = optimizer.optimize()
+        validate_plan(plan, query, PlanSpace.left_deep_cp_free())
+
+    def test_quality_degrades_monotonically_in_samples(self):
+        """Across seeds, higher aggressiveness can only lose (or tie)."""
+        worse = 0
+        for seed in range(6):
+            query = weighted_query(random_connected_graph(7, 0.2, seed), seed)
+            exact = PrefixSearchOptimizer(query).optimize()
+            rough = PrefixSearchOptimizer(query, aggressiveness=4.0).optimize()
+            assert rough.cost >= exact.cost - 1e-9
+            if rough.cost > exact.cost * (1 + 1e-9):
+                worse += 1
+        # Aggressive pruning usually costs something somewhere.
+        assert worse >= 0  # informational; strict loss is workload-dependent
+
+
+class TestEffortAccounting:
+    def test_memory_is_prefix_only(self):
+        """No memo: the optimizer exposes no table, only counters."""
+        query = weighted_query(chain(6), 3)
+        optimizer = PrefixSearchOptimizer(query)
+        optimizer.optimize()
+        assert not hasattr(optimizer, "memo")
+        assert optimizer.prefixes_explored > 0
+
+    def test_factorial_growth_without_pruning_pressure(self):
+        """On stars (every leaf joined to the hub) the CP-free prefix tree
+        is large; pruning keeps the explored count far below n!."""
+        import math
+
+        query = weighted_query(star(8), 3)
+        optimizer = PrefixSearchOptimizer(query)
+        optimizer.optimize()
+        assert optimizer.prefixes_explored < math.factorial(8)
+        assert optimizer.prefixes_pruned > 0

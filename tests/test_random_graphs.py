@@ -1,0 +1,73 @@
+"""Tests for the cyclicity-controlled random graph generator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import random_connected_graph
+
+
+class TestBasics:
+    def test_single_vertex(self):
+        g = random_connected_graph(1, 0.0, 1)
+        assert g.n == 1 and g.edge_count() == 0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            random_connected_graph(0, 0.0, 1)
+
+    def test_invalid_cyclicity(self):
+        with pytest.raises(ValueError):
+            random_connected_graph(5, 1.0, 1)
+        with pytest.raises(ValueError):
+            random_connected_graph(5, -0.1, 1)
+
+    def test_determinism_from_int_seed(self):
+        a = random_connected_graph(10, 0.4, 123)
+        b = random_connected_graph(10, 0.4, 123)
+        assert a == b
+
+    def test_accepts_random_instance(self):
+        rng = random.Random(5)
+        g = random_connected_graph(8, 0.3, rng)
+        assert g.n == 8
+
+    def test_fresh_rng_without_seed(self):
+        g = random_connected_graph(5, 0.0)
+        assert g.n == 5 and g.is_connected()
+
+
+class TestDistribution:
+    @given(st.integers(0, 10_000), st.sampled_from([0.0, 0.2, 0.4, 0.7]))
+    @settings(max_examples=80)
+    def test_always_connected(self, seed, cyclicity):
+        g = random_connected_graph(9, cyclicity, seed)
+        assert g.is_connected()
+        assert g.n == 9
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40)
+    def test_zero_cyclicity_gives_trees(self, seed):
+        g = random_connected_graph(12, 0.0, seed)
+        assert g.edge_count() == 11  # exactly a spanning tree
+
+    def test_cyclicity_increases_edges(self):
+        """Expected edge count grows with C ~ (n-1)/(1-C)."""
+        n = 14
+        means = {}
+        for c in (0.0, 0.4):
+            counts = [
+                random_connected_graph(n, c, seed).edge_count()
+                for seed in range(60)
+            ]
+            means[c] = sum(counts) / len(counts)
+        assert means[0.0] == n - 1
+        assert means[0.4] > means[0.0] * 1.25
+
+    def test_edge_capacity_respected(self):
+        # Small n with high C must not loop forever or exceed the clique.
+        for seed in range(30):
+            g = random_connected_graph(3, 0.9, seed)
+            assert g.edge_count() <= 3

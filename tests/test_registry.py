@@ -1,0 +1,98 @@
+"""Tests for the Table 1 algorithm registry."""
+
+import pytest
+
+from repro.bottomup import DPccp, DPsize, DPsub
+from repro.enumerator import Bounding, TopDownEnumerator
+from repro.registry import (
+    available_algorithms,
+    make_optimizer,
+    optimize,
+    parse_name,
+)
+from repro.spaces import PlanSpace
+from repro.workloads import chain
+from repro.workloads.weights import weighted_query
+
+
+class TestParsing:
+    def test_tbnmc(self):
+        spec = parse_name("TBNmc")
+        assert spec.top_down
+        assert spec.space == PlanSpace.bushy_cp_free()
+        assert spec.style == "mc"
+        assert spec.bounding is Bounding.NONE
+        assert spec.is_optimal_enumeration
+
+    def test_case_insensitive(self):
+        assert parse_name("tbnMC").space == parse_name("TBNmc").space
+
+    def test_bounded_suffixes(self):
+        assert parse_name("TLNmcA").bounding is Bounding.ACCUMULATED
+        assert parse_name("TLNmcP").bounding is Bounding.PREDICTED
+        assert parse_name("TLNmcAP").bounding == (
+            Bounding.ACCUMULATED | Bounding.PREDICTED
+        )
+
+    def test_blnsize(self):
+        spec = parse_name("BLNsize")
+        assert not spec.top_down
+        assert spec.space == PlanSpace.left_deep_cp_free()
+        assert not spec.is_optimal_enumeration
+
+    def test_bbcnaive_is_optimal(self):
+        assert parse_name("BBCnaive").is_optimal_enumeration
+
+    def test_rejections(self):
+        for bad in [
+            "XXNmc",        # bad direction
+            "TBNfoo",       # bad style
+            "BBNccpA",      # bounding on bottom-up
+            "TBNccp",       # ccp is bottom-up only
+            "BBNmc",        # mc is top-down only
+            "TBCmc",        # mc needs CP-free
+            "TBNsize",      # no top-down size-driven
+            "BLNnaive",     # Table 1 has no bottom-up left-deep naive
+        ]:
+            with pytest.raises(ValueError):
+                parse_name(bad)
+
+
+class TestConstruction:
+    def test_every_listed_algorithm_builds_and_runs(self):
+        query = weighted_query(chain(4), 7)
+        costs = {}
+        for name in available_algorithms():
+            optimizer = make_optimizer(name, query)
+            plan = optimizer.optimize()
+            spec = parse_name(name)
+            costs.setdefault(spec.space.describe(), set()).add(round(plan.cost, 6))
+        # Within each space every algorithm agrees on the optimum.
+        for space, values in costs.items():
+            assert len(values) == 1, (space, values)
+
+    def test_types(self):
+        query = weighted_query(chain(3), 1)
+        assert isinstance(make_optimizer("TBNmc", query), TopDownEnumerator)
+        assert isinstance(make_optimizer("BBNccp", query), DPccp)
+        assert isinstance(make_optimizer("BBNnaive", query), DPsub)
+        assert isinstance(make_optimizer("BLNsize", query), DPsize)
+
+    def test_memo_rejected_for_bottom_up(self):
+        from repro.memo import MemoTable
+
+        query = weighted_query(chain(3), 1)
+        with pytest.raises(ValueError):
+            make_optimizer("BBNccp", query, memo=MemoTable())
+
+    def test_optimize_convenience(self):
+        query = weighted_query(chain(4), 7)
+        plan = optimize("TBNmc", query)
+        assert plan.cost == optimize("BBNccp", query).cost
+
+    def test_optimize_initial_plan_requires_top_down(self):
+        query = weighted_query(chain(3), 1)
+        seed_plan = optimize("TBNmc", query)
+        with pytest.raises(ValueError):
+            optimize("BBNccp", query, initial_plan=seed_plan)
+        assert optimize("TBNmcP", query, initial_plan=seed_plan).cost == seed_plan.cost

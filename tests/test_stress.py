@@ -1,0 +1,88 @@
+"""Stress tests: queries beyond the machine-word boundary.
+
+Section 3.1's bitmap model assumes query size / word size is bounded by
+a small constant; Python integers are arbitrary-precision, so the same
+encoding works past 64 relations.  These tests exercise the >64-vertex
+paths (masks spanning multiple words) on workloads whose optimal
+enumeration stays polynomial (chains) or near-linear (minimal cuts of
+acyclic graphs).
+"""
+
+import pytest
+
+from repro.analysis.metrics import Metrics
+from repro.core.bitset import iter_bits, popcount
+from repro.enumerator import TopDownEnumerator
+from repro.partition import MinCutLazy, MinCutLeftDeep, MinCutOptimistic
+from repro.plans import validate_plan
+from repro.spaces import PlanSpace
+from repro.workloads import binary_tree, chain, random_connected_graph
+from repro.workloads.weights import weighted_query
+
+
+class TestWideBitsets:
+    def test_masks_past_word_boundary(self):
+        mask = (1 << 200) | (1 << 64) | 1
+        assert popcount(mask) == 3
+        assert list(iter_bits(mask)) == [0, 64, 200]
+
+    def test_wide_graph_connectivity(self):
+        g = chain(130)
+        assert g.is_connected()
+        assert not g.is_connected(g.all_vertices & ~(1 << 65))
+
+    def test_mincut_lazy_on_wide_chain(self):
+        g = chain(120)
+        metrics = Metrics()
+        cuts = list(MinCutLazy().partitions(g, g.all_vertices, metrics))
+        assert len(cuts) == 2 * 119
+        assert metrics.bcc_trees_built == 1
+
+    def test_mincut_optimistic_on_wide_tree(self):
+        g = binary_tree(100)
+        metrics = Metrics()
+        cuts = list(MinCutOptimistic().partitions(g, g.all_vertices, metrics))
+        assert len(cuts) == 2 * 99
+        assert metrics.failed_connectivity_tests < 99
+
+
+class TestWideOptimization:
+    def test_chain_80_left_deep(self):
+        """Left-deep chain optimization is Θ(n²) join operators."""
+        q = weighted_query(chain(80), 7)
+        metrics = Metrics()
+        plan = TopDownEnumerator(q, MinCutLeftDeep(), metrics=metrics).optimize()
+        assert metrics.logical_joins_enumerated == 80 * 79
+        validate_plan(plan, q, PlanSpace.left_deep_cp_free())
+
+    def test_chain_40_bushy(self):
+        """Bushy chain optimization is Θ(n³) join operators."""
+        n = 40
+        q = weighted_query(chain(n), 7)
+        metrics = Metrics()
+        plan = TopDownEnumerator(q, MinCutLazy(), metrics=metrics).optimize()
+        assert metrics.logical_joins_enumerated == (n**3 - n) // 3
+        validate_plan(plan, q, PlanSpace.bushy_cp_free())
+
+    def test_random_tree_70_cuts(self):
+        """Full optimization of an arbitrary 70-vertex tree can have
+        exponentially many csg-cmp pairs, but its minimal cuts are exactly
+        its 69 edges — enumerable in linear time per cut."""
+        g = random_connected_graph(70, 0.0, 3)
+        metrics = Metrics()
+        cuts = list(MinCutLazy().partitions(g, g.all_vertices, metrics))
+        assert len(cuts) == 2 * 69
+        assert metrics.bcc_trees_built == 1
+
+    def test_zero_cardinality_relation(self):
+        """Degenerate statistics must not break the optimizer."""
+        from repro.catalog import Catalog, Query
+
+        cat = Catalog()
+        cat.add_relation("empty", 0)
+        cat.add_relation("full", 1000)
+        cat.add_predicate(0, 1, 0.5)
+        q = Query.from_catalog(cat)
+        plan = TopDownEnumerator(q, MinCutLazy()).optimize()
+        assert plan.cardinality == 0.0
+        validate_plan(plan, q)

@@ -1,0 +1,97 @@
+"""Tests for the canonical topology constructors."""
+
+import pytest
+
+from repro.core.bitset import bit
+from repro.workloads import binary_tree, chain, clique, cycle, grid, star, wheel
+
+
+class TestChain:
+    def test_structure(self):
+        g = chain(5)
+        assert g.edge_count() == 4
+        assert g.has_edge(0, 1) and g.has_edge(3, 4)
+        assert not g.has_edge(0, 2)
+        assert g.is_connected()
+
+    def test_single(self):
+        assert chain(1).edge_count() == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            chain(0)
+
+
+class TestStar:
+    def test_structure(self):
+        g = star(6)
+        assert g.edge_count() == 5
+        assert g.degree(0) == 5
+        assert all(g.degree(i) == 1 for i in range(1, 6))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            star(-1)
+
+
+class TestCycle:
+    def test_structure(self):
+        g = cycle(5)
+        assert g.edge_count() == 5
+        assert all(g.degree(i) == 2 for i in range(5))
+        assert g.has_edge(4, 0)
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            cycle(2)
+
+
+class TestClique:
+    def test_structure(self):
+        g = clique(5)
+        assert g.edge_count() == 10
+        assert all(g.degree(i) == 4 for i in range(5))
+
+    def test_trivial(self):
+        assert clique(1).edge_count() == 0
+
+
+class TestWheel:
+    def test_structure(self):
+        g = wheel(6)
+        # Hub degree n-1; rim vertices have hub + two rim neighbours.
+        assert g.degree(0) == 5
+        assert all(g.degree(i) == 3 for i in range(1, 6))
+        assert g.edge_count() == 10
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            wheel(3)
+
+
+class TestGrid:
+    def test_structure(self):
+        g = grid(2, 3)
+        assert g.n == 6
+        assert g.edge_count() == 7  # 2*2 vertical + 3*1 horizontal... = 4+3
+        assert g.has_edge(0, 3) and g.has_edge(1, 2)
+        assert not g.has_edge(2, 3)  # row wrap must not connect
+
+    def test_degenerate_is_chain(self):
+        assert grid(1, 5) == chain(5)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            grid(0, 3)
+
+
+class TestBinaryTree:
+    def test_structure(self):
+        g = binary_tree(7)
+        assert g.edge_count() == 6
+        assert g.degree(0) == 2
+        assert g.has_edge(1, 3) and g.has_edge(2, 6)
+
+    def test_acyclic(self):
+        for n in (1, 2, 5, 12):
+            assert binary_tree(n).edge_count() == n - 1

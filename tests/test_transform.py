@@ -1,0 +1,129 @@
+"""Tests for the transformational (Volcano/Cascades-style) baseline and
+the Section 2.4 claims it demonstrates."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.counting import count_join_operators
+from repro.core.bitset import iter_subsets
+from repro.registry import make_optimizer
+from repro.spaces import PlanSpace
+from repro.transform import TransformationalOptimizer
+from repro.workloads import (
+    binary_tree,
+    chain,
+    clique,
+    cycle,
+    grid,
+    random_connected_graph,
+    star,
+    wheel,
+)
+from repro.workloads.weights import weighted_query
+
+
+def all_cp_free_pairs(graph):
+    pairs = set()
+    for s in iter_subsets(graph.all_vertices):
+        if s.bit_count() < 2 or not graph.is_connected(s):
+            continue
+        for left in iter_subsets(s, proper=True):
+            right = s ^ left
+            if graph.is_connected(left) and graph.is_connected(right):
+                pairs.add((left, right))
+    return pairs
+
+
+class TestWithCartesianProducts:
+    @pytest.mark.parametrize("maker,n", [(chain, 5), (star, 5), (cycle, 5), (clique, 4)])
+    def test_explores_the_complete_space(self, maker, n):
+        query = weighted_query(maker(n), 1)
+        optimizer = TransformationalOptimizer(query)
+        optimizer.explore()
+        assert optimizer.expression_count() == 3**n - 2 ** (n + 1) + 1
+        # One group per non-empty vertex subset.
+        assert optimizer.group_count() == 2**n - 1
+
+    def test_matches_partitioning_search_optimum(self):
+        for seed in range(4):
+            query = weighted_query(random_connected_graph(6, 0.3, seed), seed)
+            plan = TransformationalOptimizer(query).optimize()
+            reference = make_optimizer("TBCnaive", query).optimize()
+            assert plan.cost == pytest.approx(reference.cost)
+
+    def test_duplicate_work_counted(self):
+        """Claim 2: naive rule application derives expressions repeatedly."""
+        query = weighted_query(chain(6), 1)
+        optimizer = TransformationalOptimizer(query)
+        optimizer.explore()
+        assert optimizer.duplicates_detected > optimizer.expression_count()
+
+    def test_memory_claim_vs_dynamic_programming(self):
+        """Claim 1: Θ(3^n) expressions stored vs the 2^n of DP."""
+        n = 8
+        query = weighted_query(chain(n), 1)
+        optimizer = TransformationalOptimizer(query)
+        optimizer.explore()
+        assert optimizer.expression_count() == 3**n - 2 ** (n + 1) + 1
+        assert optimizer.expression_count() > 10 * (2**n)
+
+
+class TestCPFreeGenerateAndTest:
+    @pytest.mark.parametrize(
+        "graph",
+        [chain(6), star(6), binary_tree(7), cycle(6), wheel(6), grid(2, 3), clique(5)],
+        ids=["chain", "star", "btree", "cycle", "wheel", "grid", "clique"],
+    )
+    def test_exhaustive_closure_reaches_every_ccp(self, graph):
+        """With duplicate-detecting (non-unique-derivation) application,
+        the CP filter does not curtail the space — see module docs for how
+        this relates to the paper's incompleteness remark about
+        duplicate-free schemes."""
+        query = weighted_query(graph, 1)
+        optimizer = TransformationalOptimizer(query, cp_free=True)
+        optimizer.explore()
+        assert optimizer.reached_pairs() == all_cp_free_pairs(graph)
+
+    @given(seed=st.integers(0, 20_000))
+    @settings(max_examples=10, deadline=None)
+    def test_cp_free_optimum_matches_tbnmc(self, seed):
+        query = weighted_query(random_connected_graph(6, 0.4, seed), seed)
+        plan = TransformationalOptimizer(query, cp_free=True).optimize()
+        reference = make_optimizer("TBNmc", query).optimize()
+        assert plan.cost == pytest.approx(reference.cost)
+
+    def test_cp_discards_counted(self):
+        query = weighted_query(star(6), 1)
+        optimizer = TransformationalOptimizer(query, cp_free=True)
+        optimizer.explore()
+        assert optimizer.cp_expressions_discarded > 0
+        expected = count_join_operators(star(6), PlanSpace.bushy_cp_free())
+        assert optimizer.expression_count() == expected
+
+    def test_filter_shrinks_memo_on_sparse_graphs(self):
+        query = weighted_query(chain(7), 1)
+        unfiltered = TransformationalOptimizer(query)
+        unfiltered.explore()
+        filtered = TransformationalOptimizer(query, cp_free=True)
+        filtered.explore()
+        assert filtered.expression_count() < unfiltered.expression_count() / 3
+
+
+class TestEdgeCases:
+    def test_single_relation(self):
+        query = weighted_query(chain(1), 0)
+        plan = TransformationalOptimizer(query).optimize()
+        assert plan.is_scan
+
+    def test_two_relations(self):
+        query = weighted_query(chain(2), 0)
+        optimizer = TransformationalOptimizer(query)
+        plan = optimizer.optimize()
+        assert plan.join_count() == 1
+        assert optimizer.expression_count() == 2  # both orders
+
+    def test_orders_not_supported(self):
+        query = weighted_query(chain(3), 0)
+        with pytest.raises(NotImplementedError):
+            TransformationalOptimizer(query).optimize(order=0)

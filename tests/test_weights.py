@@ -1,0 +1,72 @@
+"""Tests for the Section 4.3 weighted workload generation."""
+
+import math
+from statistics import mean
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import chain, random_connected_graph, star
+from repro.workloads.weights import generate_weights, weighted_query
+
+
+class TestStructure:
+    def test_selectivities_in_range(self):
+        q = weighted_query(star(10), 7)
+        assert all(0.0 < s < 1.0 for s in q.selectivity.values())
+
+    def test_every_edge_weighted(self):
+        g = random_connected_graph(9, 0.4, 3)
+        q = weighted_query(g, 3)
+        assert set(q.selectivity) == {(e.u, e.v) for e in g.edges}
+
+    def test_determinism(self):
+        a = generate_weights(chain(8), 99)
+        b = generate_weights(chain(8), 99)
+        assert a.cardinality_exponents == b.cardinality_exponents
+        assert a.query.selectivity == b.query.selectivity
+
+    def test_cardinalities_positive(self):
+        q = weighted_query(chain(12), 5)
+        assert all(r.cardinality >= 1.0 for r in q.relations)
+
+    def test_audit_fields(self):
+        w = generate_weights(star(6), 11)
+        assert len(w.cardinality_exponents) == 6
+        assert math.isfinite(w.actual_result_exponent)
+
+    def test_single_relation(self):
+        w = generate_weights(chain(1), 0)
+        assert w.query.selectivity == {}
+
+
+class TestDistribution:
+    def test_cardinality_exponent_distribution(self):
+        """Exponents are ~N(5, 2) clipped at 0 (paper Section 4.3)."""
+        exponents = []
+        for seed in range(120):
+            exponents.extend(generate_weights(chain(10), seed).cardinality_exponents)
+        mu = mean(exponents)
+        assert 4.4 < mu < 5.6
+        # Paper: roughly 17% below 1k (exponent < 3), 17% above 10M (> 7).
+        low = sum(1 for x in exponents if x < 3) / len(exponents)
+        high = sum(1 for x in exponents if x > 7) / len(exponents)
+        assert 0.08 < low < 0.28
+        assert 0.08 < high < 0.28
+
+    def test_result_exponent_calibration(self):
+        """Final result cardinality is ~10^N(5, >2): inputs and outputs of
+        joins have the same expected magnitude."""
+        actuals = [
+            generate_weights(chain(10), seed).actual_result_exponent
+            for seed in range(120)
+        ]
+        mu = mean(actuals)
+        assert 3.0 < mu < 7.0
+
+    @given(st.integers(0, 2000))
+    @settings(max_examples=40)
+    def test_intermediate_cardinalities_finite(self, seed):
+        q = weighted_query(random_connected_graph(8, 0.4, seed), seed)
+        full = q.cardinality(q.graph.all_vertices)
+        assert math.isfinite(full) and full >= 0.0
