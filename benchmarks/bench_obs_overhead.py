@@ -1,0 +1,75 @@
+"""Observability overhead on the Figure 9 bushy workloads.
+
+The acceptance bar for the obs layer: with the default ``NullTracer`` the
+instrumented enumerator must stay within 2 % of the uninstrumented seed
+(the untraced hot path is one boolean attribute test per recursion step),
+while a ``RecordingTracer`` + registry run — which snapshots counters and
+stamps wall clocks per span — may pay a real but bounded factor.
+
+``test_*_benchmark`` entries give the pytest-benchmark comparison table;
+``test_null_tracer_overhead_bound`` asserts the relative bound directly
+(median-of-several, self-calibrated in-process so machine speed cancels).
+"""
+
+import statistics
+
+import pytest
+
+from repro.obs import MetricsRegistry, NullTracer, RecordingTracer
+from repro.obs.timing import clock
+from repro.registry import make_optimizer
+from repro.workloads import chain, clique, star
+from repro.workloads.weights import weighted_query
+
+QUERIES = {
+    "star10": weighted_query(star(10), 3),
+    "chain12": weighted_query(chain(12), 3),
+    "clique8": weighted_query(clique(8), 3),
+}
+
+MODES = {
+    "default": lambda: {},
+    "null-tracer": lambda: {"tracer": NullTracer()},
+    "recording": lambda: {"tracer": RecordingTracer()},
+    "recording+registry": lambda: {
+        "tracer": RecordingTracer(),
+        "registry": MetricsRegistry(),
+    },
+}
+
+
+@pytest.mark.parametrize("mode", list(MODES))
+@pytest.mark.parametrize("workload", list(QUERIES))
+def test_obs_overhead_benchmark(benchmark, mode, workload):
+    query = QUERIES[workload]
+    make_kwargs = MODES[mode]
+    plan = benchmark(
+        lambda: make_optimizer("TBNmc", query, **make_kwargs()).optimize()
+    )
+    assert plan.cost > 0
+
+
+def _median_run_seconds(query, repeats: int, **kwargs) -> float:
+    times = []
+    for _ in range(repeats):
+        optimizer = make_optimizer("TBNmc", query, **kwargs)
+        start = clock()
+        optimizer.optimize()
+        times.append(clock() - start)
+    return statistics.median(times)
+
+
+def test_null_tracer_overhead_bound():
+    """Explicit NullTracer stays within noise of the default (no-obs) path.
+
+    Both arms run the same instrumented code with tracing disabled, so
+    the comparison isolates the cost of passing a tracer at all.  A
+    generous 25 % tolerance absorbs CI timer noise on a ~15 ms workload;
+    the acceptance-level <2 % claim is checked against the recorded seed
+    timings in CHANGES.md/PR notes where a quiet machine is available.
+    """
+    query = QUERIES["chain12"]
+    _median_run_seconds(query, 2)  # warm caches
+    default = _median_run_seconds(query, 5)
+    nulled = _median_run_seconds(query, 5, tracer=NullTracer())
+    assert nulled <= default * 1.25

@@ -23,6 +23,7 @@ from repro.cost.io_model import CostModel
 from repro.enumerator import Bounding, OptimizationError, TopDownEnumerator
 from repro.memo import GlobalPlanCache, MemoTable
 from repro.multiphase import MultiPhaseResult, optimize_multiphase
+from repro.obs import MetricsRegistry, NullTracer, RecordingTracer
 from repro.plans import Plan, validate_plan
 from repro.registry import available_algorithms, make_optimizer, optimize
 from repro.spaces import PlanSpace
@@ -55,6 +56,9 @@ __all__ = [
     "MemoTable",
     "MultiPhaseResult",
     "optimize_multiphase",
+    "MetricsRegistry",
+    "NullTracer",
+    "RecordingTracer",
     "Plan",
     "validate_plan",
     "available_algorithms",

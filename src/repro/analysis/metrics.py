@@ -61,6 +61,9 @@ class Metrics:
         default_factory=set, repr=False, compare=False
     )
 
+    #: Fields that are run-wide gauges rather than additive counters.
+    GAUGE_FIELDS = ("peak_memo_cells", "final_memo_plans", "final_memo_bounds")
+
     def note_expansion(self, key: tuple[int, object]) -> None:
         """Record a CalcBestJoin invocation for ``key = (vertex set, order)``."""
         self.expressions_expanded += 1
@@ -76,12 +79,32 @@ class Metrics:
 
     def as_dict(self) -> dict[str, int]:
         """Counter values as a plain dict (private bookkeeping excluded)."""
-        result = {}
-        for f in fields(self):
-            if f.name.startswith("_"):
-                continue
-            result[f.name] = getattr(self, f.name)
+        result = {name: getattr(self, name) for name in _COUNTER_FIELDS}
         result["unique_expressions_expanded"] = self.unique_expressions_expanded
+        return result
+
+    def to_dict(self) -> dict[str, int]:
+        """Alias of :meth:`as_dict`, used by the JSON exporters."""
+        return self.as_dict()
+
+    def snapshot(self) -> dict[str, int]:
+        """Cheap point-in-time copy of every additive counter.
+
+        Paired with :meth:`diff` by the span tracer to attribute counter
+        activity to individual recursion steps.  Gauges
+        (``peak_memo_cells``, ``final_memo_plans``, ``final_memo_bounds``)
+        are excluded: they are not additive, so per-span deltas would be
+        meaningless.
+        """
+        return {name: getattr(self, name) for name in _ADDITIVE_FIELDS}
+
+    def diff(self, before: dict[str, int]) -> dict[str, int]:
+        """Nonzero per-counter deltas since ``before`` (a :meth:`snapshot`)."""
+        result: dict[str, int] = {}
+        for name in _ADDITIVE_FIELDS:
+            delta = getattr(self, name) - before.get(name, 0)
+            if delta:
+                result[name] = delta
         return result
 
     def merge(self, other: "Metrics") -> None:
@@ -94,3 +117,12 @@ class Metrics:
             else:
                 setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
         self._expanded_sets |= other._expanded_sets
+
+
+#: Public counter field names, resolved once (snapshot/diff are hot).
+_COUNTER_FIELDS = tuple(
+    f.name for f in fields(Metrics) if not f.name.startswith("_")
+)
+_ADDITIVE_FIELDS = tuple(
+    name for name in _COUNTER_FIELDS if name not in Metrics.GAUGE_FIELDS
+)

@@ -7,6 +7,9 @@ from abc import ABC, abstractmethod
 from repro.analysis.metrics import Metrics
 from repro.catalog.query import Query
 from repro.cost.io_model import CostModel
+from repro.obs.registry import TIME_BETWEEN_JOINS, MetricsRegistry
+from repro.obs.timing import clock
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.plans.physical import Plan
 from repro.spaces import PlanSpace
 
@@ -21,6 +24,12 @@ class BottomUpOptimizer(ABC):
     table here is a plain dict with no eviction support.  Interesting
     orders are not implemented for the bottom-up baselines — exactly as in
     the paper's experimental apparatus, which compares pure enumeration.
+
+    Observability mirrors the top-down enumerator where the paradigm
+    allows: there is no recursion to span, so a tracer records one root
+    span per :meth:`optimize` call (with full counter deltas), and a
+    registry receives the same time-between-joins histogram, keeping the
+    paper's optimality metric comparable across paradigms.
     """
 
     space: PlanSpace
@@ -31,11 +40,20 @@ class BottomUpOptimizer(ABC):
         cost_model: CostModel | None = None,
         *,
         metrics: Metrics | None = None,
+        tracer: Tracer | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.query = query
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.metrics = metrics if metrics is not None else Metrics()
         self.plans: dict[int, Plan] = {}
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.tracer.bind_metrics(self.metrics)
+        self.registry = registry
+        self._h_join_gap = (
+            None if registry is None else registry.histogram(TIME_BETWEEN_JOINS)
+        )
+        self._last_join_at: float | None = None
 
     def optimize(self, order: int | None = None) -> Plan:
         """Return the optimal plan for the whole query."""
@@ -44,9 +62,20 @@ class BottomUpOptimizer(ABC):
                 "interesting orders are a top-down feature in this reproduction"
             )
         self.plans.clear()
-        self._seed_scans()
-        self._run()
         goal = self.query.graph.all_vertices
+        tracing = self.tracer.enabled
+        if tracing:
+            self.tracer.begin(goal, None, "optimize", strategy=type(self).__name__)
+        try:
+            self._seed_scans()
+            self._run()
+        finally:
+            if tracing:
+                found = self.plans.get(goal)
+                self.tracer.end(
+                    cost=None if found is None else found.cost,
+                    failed=found is None,
+                )
         try:
             plan = self.plans[goal]
         except KeyError:
@@ -84,6 +113,11 @@ class BottomUpOptimizer(ABC):
                 self.query, method, left_plan, right_plan
             )
             metrics.join_operators_costed += 1
+            if self._h_join_gap is not None:
+                now = clock()
+                if self._last_join_at is not None:
+                    self._h_join_gap.observe((now - self._last_join_at) * 1e6)
+                self._last_join_at = now
             if incumbent is None or plan.cost < incumbent.cost:
                 incumbent = plan
         self.plans[combined] = incumbent

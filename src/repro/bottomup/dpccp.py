@@ -35,8 +35,12 @@ class DPccp(BottomUpOptimizer):
         cost_model: CostModel | None = None,
         *,
         metrics: Metrics | None = None,
+        tracer=None,
+        registry=None,
     ) -> None:
-        super().__init__(query, cost_model, metrics=metrics)
+        super().__init__(
+            query, cost_model, metrics=metrics, tracer=tracer, registry=registry
+        )
 
     def _run(self) -> None:
         graph = self.query.graph

@@ -34,8 +34,12 @@ class DPsize(BottomUpOptimizer):
         cost_model: CostModel | None = None,
         *,
         metrics: Metrics | None = None,
+        tracer=None,
+        registry=None,
     ) -> None:
-        super().__init__(query, cost_model, metrics=metrics)
+        super().__init__(
+            query, cost_model, metrics=metrics, tracer=tracer, registry=registry
+        )
         self.space = space
 
     def _run(self) -> None:

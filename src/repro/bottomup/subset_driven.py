@@ -31,12 +31,16 @@ class DPsub(BottomUpOptimizer):
         cost_model: CostModel | None = None,
         *,
         metrics: Metrics | None = None,
+        tracer=None,
+        registry=None,
     ) -> None:
         if space.is_left_deep:
             raise ValueError(
                 "DPsub is a bushy-space algorithm (Table 1 has no left-deep row)"
             )
-        super().__init__(query, cost_model, metrics=metrics)
+        super().__init__(
+            query, cost_model, metrics=metrics, tracer=tracer, registry=registry
+        )
         self.space = space
 
     def _run(self) -> None:

@@ -4,18 +4,31 @@ Subcommands::
 
     repro list-algorithms                      # registry contents
     repro optimize --topology star --n 8 ...   # optimize one query
+    repro trace --algorithm mincutlazy ...     # traced run + recursion tree
     repro experiment fig9 [--scale paper]      # regenerate a figure/table
     repro experiment all [--scale small]       # everything (EXPERIMENTS.md)
+
+``optimize`` accepts ``--json`` (machine-readable result) and
+``--trace-out PATH`` (JSONL span dump, one span per memoized expression
+explored); ``trace`` prints the recursion tree of ``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-import time
 
 from repro.analysis.metrics import Metrics
 from repro.experiments import EXPERIMENTS
+from repro.obs import (
+    MetricsRegistry,
+    RecordingTracer,
+    Stopwatch,
+    render_summary,
+    render_trace_tree,
+    write_jsonl,
+)
 from repro.registry import available_algorithms, make_optimizer, parse_name
 from repro.experiments.common import graph_maker
 from repro.workloads.weights import weighted_query
@@ -49,20 +62,79 @@ def _build_query(args: argparse.Namespace):
 def _cmd_optimize(args: argparse.Namespace) -> int:
     query = _build_query(args)
     metrics = Metrics()
-    optimizer = make_optimizer(args.algorithm, query, metrics=metrics)
-    start = time.perf_counter()
-    plan = optimizer.optimize()
-    elapsed = time.perf_counter() - start
+    tracing = bool(getattr(args, "trace_out", None))
+    tracer = RecordingTracer() if tracing else None
+    registry = MetricsRegistry() if (tracing or args.json) else None
+    optimizer = make_optimizer(
+        args.algorithm, query, metrics=metrics, tracer=tracer, registry=registry
+    )
+    with Stopwatch() as stopwatch:
+        plan = optimizer.optimize()
+    elapsed = stopwatch.elapsed_total
+    if tracer is not None:
+        try:
+            span_count = write_jsonl(tracer, args.trace_out)
+        except OSError as exc:
+            print(f"cannot write trace to {args.trace_out!r}: {exc}", file=sys.stderr)
+            return 2
+    if args.json:
+        payload = {
+            "query": query.describe(),
+            "algorithm": args.algorithm,
+            "elapsed_ms": elapsed * 1e3,
+            "cost": plan.cost,
+            "plan": plan.sql_like(),
+            "plan_tree": plan.tree_string(),
+            "metrics": metrics.to_dict(),
+        }
+        if registry is not None:
+            payload["instruments"] = registry.to_dict()
+        if tracer is not None:
+            payload["trace"] = {"path": args.trace_out, "spans": span_count}
+        print(json.dumps(payload, indent=2))
+        return 0
     print(f"query: {query.describe()}")
     print(f"algorithm: {args.algorithm}  ({elapsed * 1e3:.2f} ms)")
     print(f"plan: {plan.sql_like()}")
     print(f"cost: {plan.cost:.6g}")
     print(plan.tree_string())
+    if tracer is not None:
+        print(f"trace: {span_count} spans -> {args.trace_out}")
     if args.metrics:
         print("\ncounters:")
         for key, value in sorted(metrics.as_dict().items()):
             if value:
                 print(f"  {key}: {value}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Optimize under a recording tracer and show the recursion tree."""
+    query = _build_query(args)
+    metrics = Metrics()
+    tracer = RecordingTracer()
+    registry = MetricsRegistry()
+    optimizer = make_optimizer(
+        args.algorithm, query, metrics=metrics, tracer=tracer, registry=registry
+    )
+    with Stopwatch() as stopwatch:
+        plan = optimizer.optimize()
+    print(f"query: {query.describe()}")
+    print(
+        f"algorithm: {args.algorithm}  ({stopwatch.elapsed_total * 1e3:.2f} ms, "
+        f"{tracer.span_count()} spans)"
+    )
+    print(f"cost: {plan.cost:.6g}\n")
+    print(render_trace_tree(tracer, query, max_depth=args.max_depth))
+    print("\nsummary:")
+    print(render_summary(metrics, registry))
+    if args.out:
+        try:
+            count = write_jsonl(tracer, args.out)
+        except OSError as exc:
+            print(f"cannot write trace to {args.out!r}: {exc}", file=sys.stderr)
+            return 2
+        print(f"\ntrace: {count} spans -> {args.out}")
     return 0
 
 
@@ -104,9 +176,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             return 2
         ids = [args.id]
     for experiment_id in ids:
-        start = time.perf_counter()
-        result = EXPERIMENTS[experiment_id](args.scale)
-        elapsed = time.perf_counter() - start
+        with Stopwatch() as stopwatch:
+            result = EXPERIMENTS[experiment_id](args.scale)
+        elapsed = stopwatch.elapsed_total
         if args.json:
             print(result.to_json())
         else:
@@ -137,9 +209,36 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument("--seed", type=int, default=42)
     optimize.add_argument("--metrics", action="store_true")
     optimize.add_argument(
+        "--json", action="store_true",
+        help="emit a machine-readable JSON result (plan, cost, metrics)",
+    )
+    optimize.add_argument(
+        "--trace-out", metavar="PATH",
+        help="record the search as spans and write a JSONL dump to PATH",
+    )
+    optimize.add_argument(
         "--query",
-        help="textual query DSL, e.g. 'a(1000) b(500); a-b:0.01' "
+        help="textual query DSL, e.g. 'a(1000) b(500) c(20); a-b:0.01' "
              "(overrides --topology/--n)",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="optimize under a recording tracer, print the recursion tree"
+    )
+    trace.add_argument("--algorithm", default="TBNmc")
+    trace.add_argument(
+        "--topology",
+        default="star",
+        choices=["chain", "star", "cycle", "clique", "wheel",
+                 "random-acyclic", "random-cyclic"],
+    )
+    trace.add_argument("--n", type=int, default=6)
+    trace.add_argument("--seed", type=int, default=42)
+    trace.add_argument("--query", help="textual query DSL (overrides --topology)")
+    trace.add_argument("--out", metavar="PATH", help="also write a JSONL span dump")
+    trace.add_argument(
+        "--max-depth", type=int, default=None,
+        help="truncate the printed tree below this depth",
     )
 
     run = sub.add_parser("run", help="optimize and execute on synthetic data")
@@ -170,6 +269,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "list-algorithms": _cmd_list_algorithms,
         "optimize": _cmd_optimize,
+        "trace": _cmd_trace,
         "run": _cmd_run,
         "experiment": _cmd_experiment,
     }

@@ -31,6 +31,13 @@ from repro.analysis.metrics import Metrics
 from repro.catalog.query import Query
 from repro.cost.io_model import CostModel
 from repro.memo import MemoTable
+from repro.obs.registry import (
+    PARTITIONS_PER_EXPRESSION,
+    TIME_BETWEEN_JOINS,
+    MetricsRegistry,
+)
+from repro.obs.timing import clock
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.partition.base import PartitionStrategy
 from repro.plans.physical import INFINITY, Plan, plan_cost
 
@@ -82,6 +89,16 @@ class TopDownEnumerator:
         :class:`~repro.memo.GlobalPlanCache` for cross-query reuse.
     metrics:
         Counter sink; defaults to a fresh :class:`Metrics`.
+    tracer:
+        Span sink for the recursion (see :mod:`repro.obs.tracer`);
+        defaults to the zero-overhead :data:`~repro.obs.tracer.NULL_TRACER`.
+        One span is opened per memo-missed expression computation, so the
+        span count of an exhaustive run equals the number of memoized
+        expressions explored.
+    registry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry` receiving
+        the partitions-per-expression and time-between-joins histograms
+        and the memo occupancy series.
     """
 
     def __init__(
@@ -93,6 +110,8 @@ class TopDownEnumerator:
         bounding: Bounding = Bounding.NONE,
         memo: MemoTable | None = None,
         metrics: Metrics | None = None,
+        tracer: Tracer | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.query = query
         self.partition = partition
@@ -102,6 +121,19 @@ class TopDownEnumerator:
         self.memo = memo if memo is not None else MemoTable(metrics=self.metrics)
         if self.memo.metrics is None:
             self.memo.metrics = self.metrics
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._tracing = self.tracer.enabled
+        self.tracer.bind_metrics(self.metrics)
+        self.partition.tracer = self.tracer
+        self.registry = registry
+        if registry is not None:
+            self._h_partitions = registry.histogram(PARTITIONS_PER_EXPRESSION)
+            self._h_join_gap = registry.histogram(TIME_BETWEEN_JOINS)
+            self.memo.attach_registry(registry)
+        else:
+            self._h_partitions = None
+            self._h_join_gap = None
+        self._last_join_at: float | None = None
 
     @property
     def space(self):
@@ -167,8 +199,26 @@ class TopDownEnumerator:
             plan = self.memo.plan_for_query(self.query, entry)
             if plan is not None:
                 metrics.memo_hits += 1
+                if self._tracing:
+                    self.tracer.memo_hit(subset, order)
                 return plan
-        if subset & (subset - 1) == 0:
+        is_scan = subset & (subset - 1) == 0
+        if self._tracing:
+            plan = None
+            self.tracer.begin(
+                subset,
+                order,
+                "scan" if is_scan else "join",
+                strategy=self.partition.name,
+            )
+            try:
+                if is_scan:
+                    plan = self._calc_best_scan(subset, order)
+                else:
+                    plan = self._calc_best_join(subset, order, seed)
+            finally:
+                self.tracer.end(cost=None if plan is None else plan.cost)
+        elif is_scan:
             plan = self._calc_best_scan(subset, order)
         else:
             plan = self._calc_best_join(subset, order, seed)
@@ -206,12 +256,16 @@ class TopDownEnumerator:
                 if sorted_plan.cost < plan_cost(best):
                     best = sorted_plan
 
+        partitions_seen = 0
         for left, right in self.partition.partitions(query.graph, subset, metrics):
+            partitions_seen += 1
             metrics.logical_joins_enumerated += 1
             if predicted:
                 bound = cost_model.lower_bound(query, left, right)
                 if bound >= plan_cost(best):
                     metrics.predicted_prunes += 1
+                    if self._tracing:
+                        self.tracer.predicted_prune(left, right, bound)
                     continue
             # Every physical method takes unordered inputs, so the child
             # lookups are hoisted out of the method loop (with a memo this
@@ -233,9 +287,25 @@ class TopDownEnumerator:
                     break
                 plan = cost_model.build_join(query, method, left_plan, right_plan)
                 metrics.join_operators_costed += 1
+                if self._h_join_gap is not None:
+                    self._note_join_costed()
                 if plan.cost < plan_cost(best):
                     best = plan
+        if self._h_partitions is not None:
+            self._h_partitions.observe(partitions_seen)
         return best
+
+    def _note_join_costed(self) -> None:
+        """Feed the time-between-joins histogram (microseconds).
+
+        This is the paper's §3 optimality metric: TBNMC does at most
+        linear work between successive join operators, so the gap
+        distribution should stay flat as queries grow.
+        """
+        now = clock()
+        if self._last_join_at is not None:
+            self._h_join_gap.observe((now - self._last_join_at) * 1e6)
+        self._last_join_at = now
 
     # -- Algorithm 7 (accumulated-cost bounding) ---------------------------------
 
@@ -261,13 +331,39 @@ class TopDownEnumerator:
                 if plan is not None:
                     if plan.cost <= budget:
                         metrics.memo_hits += 1
+                        if self._tracing:
+                            self.tracer.memo_hit(subset, order)
                         return plan
                     metrics.memo_bound_hits += 1
+                    if self._tracing:
+                        self.tracer.memo_bound_hit(subset, order)
                     return None
             elif entry.lower_bound is not None and budget <= entry.lower_bound:
                 metrics.memo_bound_hits += 1
+                if self._tracing:
+                    self.tracer.memo_bound_hit(subset, order)
                 return None
-        if subset & (subset - 1) == 0:
+        is_scan = subset & (subset - 1) == 0
+        if self._tracing:
+            plan = None
+            self.tracer.begin(
+                subset,
+                order,
+                "scan" if is_scan else "join",
+                strategy=self.partition.name,
+                budget=None if budget >= INFINITY else budget,
+            )
+            try:
+                if is_scan:
+                    plan = self._calc_best_scan_budgeted(subset, order, budget)
+                else:
+                    plan = self._calc_best_join_budgeted(subset, order, budget, seed)
+            finally:
+                self.tracer.end(
+                    cost=None if plan is None else plan.cost,
+                    failed=plan is None,
+                )
+        elif is_scan:
             plan = self._calc_best_scan_budgeted(subset, order, budget)
         else:
             plan = self._calc_best_join_budgeted(subset, order, budget, seed)
@@ -313,7 +409,9 @@ class TopDownEnumerator:
                 if sorted_plan.cost < plan_cost(best):
                     best = sorted_plan
 
+        partitions_seen = 0
         for left, right in self.partition.partitions(query.graph, subset, metrics):
+            partitions_seen += 1
             metrics.logical_joins_enumerated += 1
             cap = min(budget, plan_cost(best))
             if predicted:
@@ -322,6 +420,8 @@ class TopDownEnumerator:
                 bound = cost_model.lower_bound(query, left, right)
                 if bound > cap:
                     metrics.predicted_prunes += 1
+                    if self._tracing:
+                        self.tracer.predicted_prune(left, right, bound)
                     continue
             methods = []
             for method in cost_model.JOIN_METHODS:
@@ -356,8 +456,12 @@ class TopDownEnumerator:
             for operator_cost, method in methods:
                 total = left_plan.cost + right_plan.cost + operator_cost
                 metrics.join_operators_costed += 1
+                if self._h_join_gap is not None:
+                    self._note_join_costed()
                 if total <= min(budget, plan_cost(best)) and total < plan_cost(best):
                     best = cost_model.build_join(
                         query, method, left_plan, right_plan
                     )
+        if self._h_partitions is not None:
+            self._h_partitions.observe(partitions_seen)
         return best

@@ -3,12 +3,12 @@
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass, field
 from statistics import mean
 from typing import Any, Callable, Sequence
 
 from repro.core.joingraph import JoinGraph
+from repro.obs.timing import time_call
 from repro.workloads import (
     chain,
     clique,
@@ -120,13 +120,6 @@ def seed_for(*components: int) -> int:
     for component in components:
         value = value * 1_000_003 + component + 1
     return value & 0x7FFFFFFF
-
-
-def time_call(fn: Callable[[], Any]) -> tuple[float, Any]:
-    """Run ``fn`` once and return (elapsed seconds, result)."""
-    start = time.perf_counter()
-    result = fn()
-    return time.perf_counter() - start, result
 
 
 def mean_over_seeds(

@@ -76,6 +76,21 @@ class MemoTable:
         self.metrics = metrics
         self.policy = policy
         self._cells: OrderedDict[Hashable, MemoEntry] = OrderedDict()
+        self._h_occupancy = None
+        self._c_evictions = None
+
+    def attach_registry(self, registry) -> None:
+        """Feed occupancy-over-time and eviction telemetry into ``registry``.
+
+        ``registry`` is a :class:`~repro.obs.registry.MetricsRegistry`
+        (typed loosely to keep this module import-light).  Every store
+        observes the populated-cell count, giving the occupancy series of
+        the Figures 21–30 storage experiments.
+        """
+        from repro.obs.registry import MEMO_EVICTIONS, MEMO_OCCUPANCY
+
+        self._h_occupancy = registry.histogram(MEMO_OCCUPANCY)
+        self._c_evictions = registry.counter(MEMO_EVICTIONS)
 
     def _evict_one(self) -> None:
         """Remove one cell according to the eviction policy."""
@@ -86,6 +101,8 @@ class MemoTable:
             self._cells.popitem(last=False)
         if self.metrics is not None:
             self.metrics.memo_evictions += 1
+        if self._c_evictions is not None:
+            self._c_evictions.inc()
 
     @staticmethod
     def _cell_weight(key: Hashable) -> tuple:
@@ -148,6 +165,8 @@ class MemoTable:
             self.metrics.peak_memo_cells = max(
                 self.metrics.peak_memo_cells, len(self._cells)
             )
+        if self._h_occupancy is not None:
+            self._h_occupancy.observe(len(self._cells))
 
     # -- statistics -----------------------------------------------------------
 

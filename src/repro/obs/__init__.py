@@ -1,0 +1,60 @@
+"""Observability for partition search: spans, metrics, exporters.
+
+The layer has three parts, all dependency-free and zero-overhead unless
+explicitly enabled:
+
+* :mod:`repro.obs.tracer` — span-based tracing of the top-down recursion
+  (:class:`RecordingTracer`), with a no-op :data:`NULL_TRACER` default;
+* :mod:`repro.obs.registry` — named counters/timers/histograms
+  (:class:`MetricsRegistry`) for run distributions such as the paper's
+  time-between-joins optimality metric;
+* :mod:`repro.obs.exporters` — JSONL span dumps, human-readable
+  recursion trees, and flat summary tables.
+
+See ``docs/observability.md`` for how to read a trace against
+Algorithm 1/7.
+"""
+
+from repro.obs.exporters import (
+    render_summary,
+    render_trace_tree,
+    spans_to_jsonl,
+    subset_label,
+    write_jsonl,
+)
+from repro.obs.registry import (
+    MEMO_EVICTIONS,
+    MEMO_OCCUPANCY,
+    PARTITIONS_PER_EXPRESSION,
+    TIME_BETWEEN_JOINS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+from repro.obs.timing import Stopwatch, clock, time_call
+from repro.obs.tracer import NULL_TRACER, NullTracer, RecordingTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "Timer",
+    "NullTracer",
+    "RecordingTracer",
+    "Span",
+    "Tracer",
+    "NULL_TRACER",
+    "Stopwatch",
+    "clock",
+    "time_call",
+    "render_summary",
+    "render_trace_tree",
+    "spans_to_jsonl",
+    "subset_label",
+    "write_jsonl",
+    "PARTITIONS_PER_EXPRESSION",
+    "TIME_BETWEEN_JOINS",
+    "MEMO_OCCUPANCY",
+    "MEMO_EVICTIONS",
+]

@@ -1,0 +1,194 @@
+"""Counters, timers, and histograms for optimization-run telemetry.
+
+:class:`~repro.analysis.metrics.Metrics` counts the operations of the
+paper's complexity analysis; this registry records *distributions* on top
+of them — how many partitions each expression emitted, the wall time
+between successive join operators (the paper's §3 optimality metric: at
+most linear work between joins), and memo occupancy over time (the
+Figure 21–30 storage experiments).  Instruments are created on demand and
+shared by name, so the enumerator, memo, and bottom-up baselines can all
+write into one registry for apples-to-apples comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterator
+
+from repro.obs.timing import Stopwatch
+
+__all__ = [
+    "Counter",
+    "Timer",
+    "Histogram",
+    "MetricsRegistry",
+    "PARTITIONS_PER_EXPRESSION",
+    "TIME_BETWEEN_JOINS",
+    "MEMO_OCCUPANCY",
+    "MEMO_EVICTIONS",
+]
+
+#: Well-known instrument names used by the built-in instrumentation.
+PARTITIONS_PER_EXPRESSION = "partitions_per_expression"
+TIME_BETWEEN_JOINS = "time_between_joins_us"
+MEMO_OCCUPANCY = "memo_occupancy"
+MEMO_EVICTIONS = "memo_evictions"
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Histogram:
+    """A distribution of observed values with summary statistics.
+
+    Raw observations are kept (repro-scale runs observe at most a few
+    hundred thousand values), so exact percentiles are available for the
+    storage and time-between-joins analyses.
+    """
+
+    __slots__ = ("name", "values", "total")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: list[float] = []
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+        self.total += value
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.values) if self.values else math.nan
+
+    @property
+    def min(self) -> float:
+        return min(self.values) if self.values else math.nan
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else math.nan
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile by nearest-rank; ``p`` in [0, 100]."""
+        if not self.values:
+            return math.nan
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        ordered = sorted(self.values)
+        rank = max(0, math.ceil(p / 100 * len(ordered)) - 1)
+        return ordered[rank]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "total": self.total,
+            "min": None if not self.values else self.min,
+            "max": None if not self.values else self.max,
+            "mean": None if not self.values else self.mean,
+            "p50": None if not self.values else self.percentile(50),
+            "p95": None if not self.values else self.percentile(95),
+            "p99": None if not self.values else self.percentile(99),
+        }
+
+
+class Timer:
+    """A histogram of elapsed seconds with a context-manager front end."""
+
+    __slots__ = ("name", "histogram")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.histogram = Histogram(name)
+
+    def observe(self, seconds: float) -> None:
+        self.histogram.observe(seconds)
+
+    def time(self) -> "_TimerContext":
+        """``with timer.time(): work()`` records one observation."""
+        return _TimerContext(self)
+
+    @property
+    def count(self) -> int:
+        return self.histogram.count
+
+    @property
+    def total(self) -> float:
+        return self.histogram.total
+
+    @property
+    def mean(self) -> float:
+        return self.histogram.mean
+
+    def to_dict(self) -> dict[str, Any]:
+        return {**self.histogram.to_dict(), "type": "timer"}
+
+
+class _TimerContext:
+    __slots__ = ("_timer", "_stopwatch")
+
+    def __init__(self, timer: Timer) -> None:
+        self._timer = timer
+
+    def __enter__(self) -> "_TimerContext":
+        self._stopwatch = Stopwatch()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._timer.observe(self._stopwatch.elapsed())
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use and shared thereafter."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Timer | Histogram] = {}
+
+    def _get_or_create(self, name: str, cls: type) -> Any:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"instrument {name!r} already registered as "
+                f"{type(instrument).__name__}, not {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def timer(self, name: str) -> Timer:
+        return self._get_or_create(name, Timer)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __iter__(self) -> Iterator[tuple[str, Counter | Timer | Histogram]]:
+        return iter(sorted(self._instruments.items()))
+
+    def to_dict(self) -> dict[str, dict[str, Any]]:
+        """All instruments as plain dicts, keyed by name (JSON exporters)."""
+        return {name: inst.to_dict() for name, inst in self}

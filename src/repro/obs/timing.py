@@ -1,0 +1,63 @@
+"""One shared wall-clock idiom for the CLI, experiments, and tracer.
+
+Every piece of the repository that needs an elapsed time goes through
+this module, so switching clocks (``perf_counter`` vs. ``process_time``
+vs. a deterministic fake in tests) is a one-line change.  The paper
+reports Java CPU time; ``perf_counter`` is the closest portable
+equivalent for a pure-Python reproduction.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+__all__ = ["clock", "Stopwatch", "time_call"]
+
+#: The clock used by every timer in the repository (monotonic, fractional
+#: seconds).  Tests may monkeypatch this to make timings deterministic.
+clock = time.perf_counter
+
+
+class Stopwatch:
+    """A running wall-clock timer, started on construction.
+
+    Usable directly (``sw = Stopwatch(); ...; sw.elapsed()``) or as a
+    context manager, in which case :attr:`elapsed_total` is frozen at
+    exit::
+
+        with Stopwatch() as sw:
+            work()
+        print(sw.elapsed_total)
+    """
+
+    __slots__ = ("started_at", "elapsed_total")
+
+    def __init__(self) -> None:
+        self.started_at = clock()
+        self.elapsed_total: float | None = None
+
+    def elapsed(self) -> float:
+        """Seconds since construction (or the last :meth:`lap`)."""
+        return clock() - self.started_at
+
+    def lap(self) -> float:
+        """Return the elapsed seconds and restart the timer."""
+        now = clock()
+        elapsed = now - self.started_at
+        self.started_at = now
+        return elapsed
+
+    def __enter__(self) -> "Stopwatch":
+        self.started_at = clock()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed_total = clock() - self.started_at
+
+
+def time_call(fn: Callable[[], Any]) -> tuple[float, Any]:
+    """Run ``fn`` once and return ``(elapsed seconds, result)``."""
+    start = clock()
+    result = fn()
+    return clock() - start, result

@@ -7,6 +7,7 @@ from collections.abc import Iterator
 
 from repro.analysis.metrics import Metrics
 from repro.core.joingraph import JoinGraph
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.spaces import PlanSpace
 
 __all__ = ["PartitionStrategy", "PlanSpace"]
@@ -17,6 +18,13 @@ class PartitionStrategy(ABC):
 
     Subclasses set :attr:`name` (the paper's algorithm-family label) and
     :attr:`space`, and implement :meth:`partitions`.
+
+    Strategies report strategy-internal decisions (biconnection-tree
+    builds/reuses, wasted connectivity probes, articulation scans) to
+    :attr:`tracer` via :meth:`~repro.obs.tracer.Tracer.event`; the
+    enumerator rebinds the attribute when tracing is on, and the default
+    :data:`~repro.obs.tracer.NULL_TRACER` keeps the untraced hot path
+    down to one ``enabled`` attribute test.
 
     Contract: ``partitions(graph, subset, metrics)`` yields ordered pairs
     ``(left, right)`` of non-empty disjoint masks whose union is ``subset``.
@@ -30,6 +38,8 @@ class PartitionStrategy(ABC):
 
     name: str = "abstract"
     space: PlanSpace
+    #: Span/event sink; rebound per-run by :class:`~repro.enumerator.TopDownEnumerator`.
+    tracer: Tracer = NULL_TRACER
 
     @abstractmethod
     def partitions(

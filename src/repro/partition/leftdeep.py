@@ -39,6 +39,10 @@ class MinCutLeftDeep(PartitionStrategy):
             return  # singletons have no binary partitions
         articulation = articulation_vertices(graph, subset)
         metrics.bcc_trees_built += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "articulation_scan", subset=subset, articulation=articulation
+            )
         removable = subset & ~articulation
         while removable:
             low = removable & -removable

@@ -99,9 +99,15 @@ class MinCutLazy(PartitionStrategy):
             if tree_old.is_usable_for(rest, size3_tweak=self.size3_tweak):
                 metrics.usability_hits += 1
                 tree = tree_old
+                if self.tracer.enabled:
+                    self.tracer.event("bcc_tree_reused", rest=rest)
         if tree is None:
             tree = build_bcc_tree(graph, rest, anchor)
             metrics.bcc_trees_built += 1
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "bcc_tree_built", rest=rest, reuse_denied=tree_old is not None
+                )
 
         # Pivot set P: neighbours of S outside S ∪ T whose subtree contains
         # no other neighbour of S (maximally distant from the anchor).

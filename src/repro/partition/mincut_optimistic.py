@@ -103,7 +103,15 @@ class MinCutOptimistic(PartitionStrategy):
                 # and the probe was wasted work.
                 if severed & t_prime:
                     metrics.failed_connectivity_tests += 1
+                    if self.tracer.enabled:
+                        self.tracer.event(
+                            "probe_wasted", candidate=low, severed=severed
+                        )
                     continue
                 s_prime |= severed
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "probe_repaired", candidate=low, severed=severed
+                    )
             yield from self._mincut(graph, subset, anchor, s_prime, t_prime, metrics)
             t_prime |= low

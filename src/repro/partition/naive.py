@@ -77,6 +77,8 @@ class NaiveLeftDeepCPFree(PartitionStrategy):
                 yield (rest, low)
             else:
                 metrics.failed_connectivity_tests += 1
+                if self.tracer.enabled:
+                    self.tracer.event("connectivity_failed", left=rest, right=low)
 
 
 class NaiveBushyCP(PartitionStrategy):
@@ -122,10 +124,14 @@ class NaiveBushyCPFree(PartitionStrategy):
             metrics.connectivity_tests += 1
             if not graph.is_connected(left):
                 metrics.failed_connectivity_tests += 1
+                if self.tracer.enabled:
+                    self.tracer.event("connectivity_failed", left=left, right=right)
                 continue
             metrics.connectivity_tests += 1
             if not graph.is_connected(right):
                 metrics.failed_connectivity_tests += 1
+                if self.tracer.enabled:
+                    self.tracer.event("connectivity_failed", left=left, right=right)
                 continue
             metrics.partitions_emitted += 1
             yield (left, right)

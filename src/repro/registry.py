@@ -14,6 +14,9 @@ Name grammar (case-insensitive):
 
 Examples: ``TBNmc`` is the paper's optimal top-down bushy CP-free
 algorithm; ``TLNmcAP`` adds combined bounding; ``BBNccp`` is DPccp.
+
+Friendly aliases (``mincutlazy``, ``dpccp``, ``leftdeep``, ...) resolve
+to the Table 1 names; see :data:`ALGORITHM_ALIASES`.
 """
 
 from __future__ import annotations
@@ -28,6 +31,8 @@ from repro.catalog.query import Query
 from repro.cost.io_model import CostModel
 from repro.enumerator import Bounding, TopDownEnumerator
 from repro.memo import MemoTable
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import Tracer
 from repro.partition import (
     MinCutLazy,
     MinCutLeftDeep,
@@ -40,13 +45,36 @@ from repro.partition import (
 from repro.plans.physical import Plan
 from repro.spaces import PlanSpace
 
-__all__ = ["AlgorithmSpec", "available_algorithms", "make_optimizer", "optimize"]
+__all__ = [
+    "AlgorithmSpec",
+    "ALGORITHM_ALIASES",
+    "available_algorithms",
+    "make_optimizer",
+    "optimize",
+    "resolve_alias",
+]
 
 _NAME_PATTERN = re.compile(
     r"^(?P<direction>[TB])(?P<shape>[LB])(?P<cp>[NC])"
     r"(?P<style>size|naive|ccp|mc|mcopt)(?P<bounding>A|P|AP)?$",
     re.IGNORECASE,
 )
+
+#: Friendly names for the strategies, usable anywhere a Table 1 name is
+#: (CLI ``--algorithm``, :func:`make_optimizer`, :func:`optimize`).
+#: Lookup is case-insensitive and ignores ``-``/``_`` separators, and an
+#: ``A``/``P``/``AP`` bounding suffix carries over (``mincutlazy-AP``).
+ALGORITHM_ALIASES = {
+    "mincutlazy": "TBNmc",
+    "mincut": "TBNmc",
+    "mincutoptimistic": "TBNmcopt",
+    "mincutopt": "TBNmcopt",
+    "leftdeep": "TLNmc",
+    "naive": "TBNnaive",
+    "dpccp": "BBNccp",
+    "dpsize": "BBNsize",
+    "dpsub": "BBNnaive",
+}
 
 #: The algorithm names Table 1 lists as implemented (canonical casing).
 TABLE1_ALGORITHMS = (
@@ -89,13 +117,31 @@ class AlgorithmSpec:
         return self.style in {"mc", "ccp"}
 
 
+def resolve_alias(name: str) -> str:
+    """Map a friendly alias to its Table 1 name; other names pass through.
+
+    An optional ``A``/``P``/``AP`` bounding suffix (separated or not) is
+    preserved: ``mincutlazy-AP`` resolves to ``TBNmcAP``.
+    """
+    normalized = name.lower().replace("-", "").replace("_", "")
+    for suffix in ("ap", "a", "p", ""):
+        if suffix and not normalized.endswith(suffix):
+            continue
+        stem = normalized[: len(normalized) - len(suffix)] if suffix else normalized
+        canonical = ALGORITHM_ALIASES.get(stem)
+        if canonical is not None:
+            return canonical + suffix.upper()
+    return name
+
+
 def parse_name(name: str) -> AlgorithmSpec:
-    """Parse a Table 1 style algorithm name."""
-    match = _NAME_PATTERN.match(name)
+    """Parse a Table 1 style algorithm name (or a friendly alias)."""
+    match = _NAME_PATTERN.match(resolve_alias(name))
     if match is None:
         raise ValueError(
             f"unrecognized algorithm name {name!r}; "
-            "expected e.g. TBNmc, BLNsize, TLNmcAP"
+            "expected e.g. TBNmc, BLNsize, TLNmcAP, or an alias "
+            f"({', '.join(sorted(ALGORITHM_ALIASES))})"
         )
     top_down = match.group("direction").upper() == "T"
     left_deep = match.group("shape").upper() == "L"
@@ -162,12 +208,15 @@ def make_optimizer(
     *,
     memo: MemoTable | None = None,
     metrics: Metrics | None = None,
+    tracer: Tracer | None = None,
+    registry: MetricsRegistry | None = None,
 ):
     """Instantiate the named algorithm over ``query``.
 
     Returns an object with an ``optimize(order=None) -> Plan`` method and
     ``metrics`` attribute (either a :class:`TopDownEnumerator` or a
-    bottom-up optimizer).
+    bottom-up optimizer).  ``tracer`` and ``registry`` attach the
+    :mod:`repro.obs` instrumentation; both default to off (zero overhead).
     """
     spec = parse_name(name)
     if spec.top_down:
@@ -178,14 +227,22 @@ def make_optimizer(
             bounding=spec.bounding,
             memo=memo,
             metrics=metrics,
+            tracer=tracer,
+            registry=registry,
         )
     if memo is not None:
         raise ValueError("bottom-up algorithms manage their own plan table")
     if spec.style == "ccp":
-        return DPccp(query, cost_model, metrics=metrics)
+        return DPccp(query, cost_model, metrics=metrics, tracer=tracer, registry=registry)
     if spec.style == "naive":
-        return DPsub(query, spec.space, cost_model, metrics=metrics)
-    return DPsize(query, spec.space, cost_model, metrics=metrics)
+        return DPsub(
+            query, spec.space, cost_model, metrics=metrics,
+            tracer=tracer, registry=registry,
+        )
+    return DPsize(
+        query, spec.space, cost_model, metrics=metrics,
+        tracer=tracer, registry=registry,
+    )
 
 
 def optimize(
@@ -196,9 +253,13 @@ def optimize(
     metrics: Metrics | None = None,
     order: int | None = None,
     initial_plan: Optional[Plan] = None,
+    tracer: Tracer | None = None,
+    registry: MetricsRegistry | None = None,
 ) -> Plan:
     """One-shot convenience: build the named optimizer and run it."""
-    optimizer = make_optimizer(name, query, cost_model, metrics=metrics)
+    optimizer = make_optimizer(
+        name, query, cost_model, metrics=metrics, tracer=tracer, registry=registry
+    )
     if isinstance(optimizer, TopDownEnumerator):
         return optimizer.optimize(order, initial_plan=initial_plan)
     if initial_plan is not None:

@@ -66,3 +66,58 @@ class TestCommands:
     def test_run_generated_topology(self, capsys):
         assert main(["run", "--topology", "chain", "--n", "4", "--rows", "12"]) == 0
         assert "result:" in capsys.readouterr().out
+
+
+class TestObservabilityCommands:
+    def test_optimize_json(self, capsys):
+        import json
+
+        code = main([
+            "optimize", "--algorithm", "TBNmc", "--topology", "chain",
+            "--n", "5", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "TBNmc"
+        assert payload["cost"] > 0
+        assert payload["elapsed_ms"] > 0
+        assert payload["metrics"]["memo_lookups"] > 0
+        assert payload["instruments"]["time_between_joins_us"]["count"] > 0
+
+    def test_optimize_trace_out_span_count(self, capsys, tmp_path):
+        """The ISSUE acceptance: spans == memoized expressions explored."""
+        import json
+
+        from repro.registry import make_optimizer
+        from repro.workloads import clique
+        from repro.workloads.weights import weighted_query
+
+        path = tmp_path / "t.jsonl"
+        code = main([
+            "optimize", "--algorithm", "mincutlazy", "--topology", "clique",
+            "--n", "6", "--trace-out", str(path),
+        ])
+        assert code == 0
+        assert "trace:" in capsys.readouterr().out
+        spans = [json.loads(line) for line in path.read_text().splitlines()]
+        optimizer = make_optimizer("TBNmc", weighted_query(clique(6), 42))
+        optimizer.optimize()
+        assert len(spans) == optimizer.memo.populated_cells()
+
+    def test_trace_command(self, capsys, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        code = main([
+            "trace", "--algorithm", "mincutlazy", "--topology", "chain",
+            "--n", "5", "--out", str(path), "--max-depth", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "spans" in out
+        assert "summary:" in out
+        assert "[mc]" in out
+        assert path.read_text().strip()
+
+    def test_trace_alias_accepted(self, capsys):
+        assert main(["trace", "--algorithm", "dpccp", "--topology",
+                     "chain", "--n", "4"]) == 0
+        assert "optimize" in capsys.readouterr().out
