@@ -73,3 +73,28 @@ def test_null_tracer_overhead_bound():
     default = _median_run_seconds(query, 5)
     nulled = _median_run_seconds(query, 5, tracer=NullTracer())
     assert nulled <= default * 1.25
+
+
+def test_emit_obs_overhead_json():
+    """Machine-readable overhead comparison -> BENCH_obs_overhead.json."""
+    import json
+
+    from benchmarks.conftest import write_bench_json
+
+    query = QUERIES["clique8"]
+    _median_run_seconds(query, 1)  # warm caches
+    modes = {
+        mode: _median_run_seconds(query, 3, **make_kwargs())
+        for mode, make_kwargs in MODES.items()
+    }
+    baseline = modes["default"]
+    payload = {
+        "workload": "clique8",
+        "median_s": modes,
+        "relative": {mode: t / baseline for mode, t in modes.items()},
+    }
+    path = write_bench_json("obs_overhead", payload)
+    with open(path, encoding="utf-8") as handle:
+        loaded = json.load(handle)
+    assert set(loaded["median_s"]) == set(MODES)
+    assert loaded["relative"]["default"] == 1.0

@@ -93,3 +93,32 @@ class TestComparativeClaims:
         optimizer.optimize()
         assert not hasattr(optimizer, "memo")
         assert optimizer.prefixes_explored > QUERY.n
+
+
+def test_emit_paradigms_json():
+    """Machine-readable paradigm comparison -> BENCH_paradigms.json."""
+    import json
+
+    from repro.obs.timing import clock
+
+    from benchmarks.conftest import write_bench_json
+
+    results = {}
+    for paradigm in PARADIGMS:
+        start = clock()
+        plan, stored = run_paradigm(paradigm, QUERY)
+        elapsed = clock() - start
+        results[paradigm] = {
+            "cost": plan.cost,
+            "stored_expressions": stored,
+            "elapsed_s": elapsed,
+        }
+    path = write_bench_json(
+        "paradigms",
+        {"query": QUERY.describe(), "paradigms": results},
+    )
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert set(payload["paradigms"]) == set(PARADIGMS)
+    for row in payload["paradigms"].values():
+        assert row["cost"] > 0

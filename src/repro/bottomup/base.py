@@ -114,9 +114,14 @@ class BottomUpOptimizer(ABC):
             )
             metrics.join_operators_costed += 1
             if self._h_join_gap is not None:
+                # First observation is a zero gap so that
+                # histogram.count == join_operators_costed (see the
+                # top-down enumerator's _note_join_costed).
                 now = clock()
                 if self._last_join_at is not None:
                     self._h_join_gap.observe((now - self._last_join_at) * 1e6)
+                else:
+                    self._h_join_gap.observe(0.0)
                 self._last_join_at = now
             if incumbent is None or plan.cost < incumbent.cost:
                 incumbent = plan

@@ -65,12 +65,34 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     tracing = bool(getattr(args, "trace_out", None))
     tracer = RecordingTracer() if tracing else None
     registry = MetricsRegistry() if (tracing or args.json) else None
+    workers = getattr(args, "workers", 0) or None
     optimizer = make_optimizer(
-        args.algorithm, query, metrics=metrics, tracer=tracer, registry=registry
+        args.algorithm,
+        query,
+        metrics=metrics,
+        tracer=tracer,
+        registry=registry,
+        workers=workers,
+        parallel_policy=getattr(args, "fork_policy", "auto"),
+        worker_trace_dir=getattr(args, "worker_trace_dir", None),
     )
     with Stopwatch() as stopwatch:
         plan = optimizer.optimize()
     elapsed = stopwatch.elapsed_total
+    parallel_info = None
+    worker_results = getattr(optimizer, "worker_results", None)
+    if worker_results is not None:
+        parallel_info = {
+            "workers": optimizer.workers,
+            "policy": optimizer.policy,
+            "tasks": metrics.parallel_tasks,
+            "entries_merged": metrics.parallel_entries_merged,
+            "worker_traces": [
+                result.trace_path
+                for result in worker_results
+                if result.trace_path is not None
+            ],
+        }
     if tracer is not None:
         try:
             span_count = write_jsonl(tracer, args.trace_out)
@@ -91,10 +113,19 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
             payload["instruments"] = registry.to_dict()
         if tracer is not None:
             payload["trace"] = {"path": args.trace_out, "spans": span_count}
+        if parallel_info is not None:
+            payload["parallel"] = parallel_info
         print(json.dumps(payload, indent=2))
         return 0
     print(f"query: {query.describe()}")
     print(f"algorithm: {args.algorithm}  ({elapsed * 1e3:.2f} ms)")
+    if parallel_info is not None:
+        print(
+            f"parallel: {parallel_info['workers']} workers, "
+            f"{parallel_info['policy']} policy, "
+            f"{parallel_info['tasks']} tasks, "
+            f"{parallel_info['entries_merged']} entries merged"
+        )
     print(f"plan: {plan.sql_like()}")
     print(f"cost: {plan.cost:.6g}")
     print(plan.tree_string())
@@ -220,6 +251,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--query",
         help="textual query DSL, e.g. 'a(1000) b(500) c(20); a-b:0.01' "
              "(overrides --topology/--n)",
+    )
+    optimize.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="parallelize the search over N worker processes "
+             "(0 = serial; equivalent to an @N algorithm suffix)",
+    )
+    optimize.add_argument(
+        "--fork-policy", default="auto", choices=["auto", "level", "subtree"],
+        help="parallel fork-point policy: level-synchronous frontiers "
+             "(work-conserving, default) or independent top-level cut "
+             "subtrees with a shared cost bound",
+    )
+    optimize.add_argument(
+        "--worker-trace-dir", metavar="DIR",
+        help="write one span-trace JSONL per worker into DIR",
     )
 
     trace = sub.add_parser(

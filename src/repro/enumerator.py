@@ -170,6 +170,29 @@ class TopDownEnumerator:
             raise OptimizationError("no plan exists for the query")
         return plan
 
+    def compute_best(
+        self,
+        subset: int,
+        order: int | None = None,
+        *,
+        budget: float | None = None,
+    ) -> Plan | None:
+        """Re-entrant subproblem solve over the (possibly pre-seeded) memo.
+
+        The workhorse of the parallel subsystem: a worker repeatedly calls
+        this for frontier subsets, the memo accumulating entries across
+        calls (and across entries imported from other workers).  With
+        ``budget`` the accumulated-cost search of Algorithm 7 is used and
+        ``None`` means *no plan within budget* (a lower bound is recorded
+        in the memo); without it the exhaustive/predicted search runs and
+        ``None`` means no plan exists at all for the subset.
+        """
+        if subset == 0:
+            raise OptimizationError("empty expression")
+        if budget is not None:
+            return self._get_best_budgeted(subset, order, budget)
+        return self._get_best(subset, order, seed=None)
+
     def best_plan(self, subset: int, order: int | None = None) -> Plan:
         """Optimize an arbitrary sub-expression (used by tests/examples)."""
         if subset == 0:
@@ -301,10 +324,17 @@ class TopDownEnumerator:
         This is the paper's §3 optimality metric: TBNMC does at most
         linear work between successive join operators, so the gap
         distribution should stay flat as queries grow.
+
+        The first join costed by an enumerator observes a zero gap, so the
+        invariant ``histogram.count == join_operators_costed`` holds — and
+        keeps holding when per-worker registries of a parallel run are
+        merged (each worker contributes exactly one zero observation).
         """
         now = clock()
         if self._last_join_at is not None:
             self._h_join_gap.observe((now - self._last_join_at) * 1e6)
+        else:
+            self._h_join_gap.observe(0.0)
         self._last_join_at = now
 
     # -- Algorithm 7 (accumulated-cost bounding) ---------------------------------

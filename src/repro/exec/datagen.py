@@ -18,6 +18,7 @@ import random
 from dataclasses import dataclass
 
 from repro.catalog.query import Query
+from repro.workloads.seeding import coerce_rng
 
 __all__ = ["SyntheticDatabase", "generate_database"]
 
@@ -62,10 +63,7 @@ def generate_database(
     at ``max_domain`` so extremely selective predicates still produce a few
     matches at demo row counts.
     """
-    if rng is None:
-        rng = random.Random()
-    elif isinstance(rng, int):
-        rng = random.Random(rng)
+    rng = coerce_rng(rng)
     if max_rows < min_rows:
         raise ValueError("max_rows must be >= min_rows")
 

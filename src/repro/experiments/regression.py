@@ -1,0 +1,186 @@
+"""CI regression gate: Table 2 workloads vs committed baselines.
+
+Every cell runs ``repro optimize --json`` (a real subprocess, exactly what
+a user runs) on one Table 2 workload — a topology/size/seed triple under
+one of the four space-defining algorithms — and extracts the two values
+the paper's claims rest on:
+
+* ``join_operators_costed`` — the enumeration-cost counter Table 2
+  reports.  Compared **exactly**: any drift means the search visited a
+  different set of join operators, i.e. an algorithmic change.
+* best-plan ``cost`` — compared to a tight relative tolerance (floating
+  summation order may legitimately differ across Python builds); real
+  drift means the optimizer no longer finds the same optimum.
+
+Usage::
+
+    python -m repro.experiments.regression --check     # CI gate
+    python -m repro.experiments.regression --update    # refresh baseline
+
+The baseline JSON is committed at ``benchmarks/baselines/table2_baseline.json``;
+refresh it only when an intentional change alters the enumeration, and
+say why in the commit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from typing import Callable
+
+from repro.experiments.common import seed_for
+from repro.experiments.table2 import TOPOLOGIES
+
+__all__ = [
+    "DEFAULT_BASELINE_PATH",
+    "collect",
+    "compare",
+    "main",
+    "workload_cells",
+]
+
+DEFAULT_BASELINE_PATH = os.path.join(
+    "benchmarks", "baselines", "table2_baseline.json"
+)
+
+#: One join-operator-counting algorithm per Table 2 plan space.
+ALGORITHMS = ("TLNmc", "TBNmc", "TLCnaive", "TBCnaive")
+
+SIZES = (5, 8)
+
+#: Plan costs may differ across builds by float summation order only.
+COST_REL_TOL = 1e-9
+
+
+def workload_cells() -> list[dict]:
+    """The gated workload grid: algorithm x topology x size (seeded)."""
+    cells = []
+    for algorithm in ALGORITHMS:
+        for topology in TOPOLOGIES:
+            for n in SIZES:
+                cells.append(
+                    {
+                        "algorithm": algorithm,
+                        "topology": topology,
+                        "n": n,
+                        "seed": seed_for(n, 0),
+                    }
+                )
+    return cells
+
+
+def _cell_key(cell: dict) -> str:
+    return f"{cell['algorithm']}/{cell['topology']}/n{cell['n']}/s{cell['seed']}"
+
+
+def _run_cli(cell: dict) -> dict:
+    """Invoke ``repro optimize --json`` for one cell; return its payload."""
+    command = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "optimize",
+        "--algorithm",
+        cell["algorithm"],
+        "--topology",
+        cell["topology"],
+        "--n",
+        str(cell["n"]),
+        "--seed",
+        str(cell["seed"]),
+        "--json",
+    ]
+    completed = subprocess.run(
+        command, capture_output=True, text=True, check=True
+    )
+    return json.loads(completed.stdout)
+
+
+def collect(runner: Callable[[dict], dict] = _run_cli) -> dict[str, dict]:
+    """Measure every cell; ``runner`` is injectable for tests."""
+    measured = {}
+    for cell in workload_cells():
+        payload = runner(cell)
+        measured[_cell_key(cell)] = {
+            "cost": payload["cost"],
+            "join_operators_costed": payload["metrics"]["join_operators_costed"],
+        }
+    return measured
+
+
+def compare(
+    baseline: dict[str, dict],
+    measured: dict[str, dict],
+    rel_tol: float = COST_REL_TOL,
+) -> list[str]:
+    """Return human-readable drift messages (empty = gate passes)."""
+    problems = []
+    for key in sorted(set(baseline) | set(measured)):
+        if key not in measured:
+            problems.append(f"{key}: in baseline but not measured")
+            continue
+        if key not in baseline:
+            problems.append(f"{key}: measured but missing from baseline")
+            continue
+        expected, actual = baseline[key], measured[key]
+        if expected["join_operators_costed"] != actual["join_operators_costed"]:
+            problems.append(
+                f"{key}: join_operators_costed drifted "
+                f"{expected['join_operators_costed']} -> "
+                f"{actual['join_operators_costed']}"
+            )
+        reference = max(abs(expected["cost"]), 1e-300)
+        if abs(expected["cost"] - actual["cost"]) / reference > rel_tol:
+            problems.append(
+                f"{key}: best-plan cost drifted "
+                f"{expected['cost']!r} -> {actual['cost']!r}"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Table 2 counter/cost regression gate"
+    )
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE_PATH, metavar="PATH"
+    )
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--check", action="store_true", help="fail on drift vs the baseline"
+    )
+    mode.add_argument(
+        "--update", action="store_true", help="rewrite the baseline file"
+    )
+    args = parser.parse_args(argv)
+
+    measured = collect()
+    if args.update:
+        os.makedirs(os.path.dirname(args.baseline) or ".", exist_ok=True)
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(measured, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {len(measured)} cells to {args.baseline}")
+        return 0
+
+    try:
+        with open(args.baseline, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except FileNotFoundError:
+        print(f"no baseline at {args.baseline}; run with --update first")
+        return 2
+    problems = compare(baseline, measured)
+    if problems:
+        print(f"{len(problems)} regression(s) vs {args.baseline}:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"{len(measured)} cells match {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

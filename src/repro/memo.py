@@ -168,6 +168,70 @@ class MemoTable:
         if self._h_occupancy is not None:
             self._h_occupancy.observe(len(self._cells))
 
+    # -- cross-process export/import (repro.parallel) ---------------------------
+
+    def keys(self) -> list[Hashable]:
+        """Current cell keys, in insertion (LRU) order."""
+        return list(self._cells)
+
+    def export_entries(
+        self, exclude: "set[Hashable] | None" = None
+    ) -> list[tuple[int, Optional[int], Optional[tuple], Optional[float]]]:
+        """Serialize populated cells as pickle-safe wire tuples.
+
+        Each entry is ``(subset, order, plan_wire, lower_bound)`` where
+        ``plan_wire`` is :meth:`~repro.plans.physical.Plan.to_wire` output
+        (or ``None`` for lower-bound-only cells).  ``exclude`` skips keys
+        already shipped, so workers send per-round deltas only.  Entries
+        survive eviction-order round trips: exporting, evicting, and
+        re-importing reproduces the same logical contents.
+
+        Only meaningful for memos keyed by ``(subset, order)``;
+        :class:`GlobalPlanCache` overrides this to reject export.
+        """
+        entries = []
+        for key, entry in self._cells.items():
+            if exclude is not None and key in exclude:
+                continue
+            subset, order = key
+            entries.append(
+                (
+                    subset,
+                    order,
+                    None if entry.plan is None else entry.plan.to_wire(),
+                    entry.lower_bound,
+                )
+            )
+        return entries
+
+    def import_entries(
+        self,
+        query: Query,
+        entries: list[tuple[int, Optional[int], Optional[tuple], Optional[float]]],
+    ) -> int:
+        """Fold wire entries (see :meth:`export_entries`) into this memo.
+
+        Deterministic conflict policy: an existing *plan* cell always wins
+        (first import wins — under exhaustive search all candidates are
+        bit-identical anyway); lower bounds never displace plans and keep
+        the max of the failed budgets.  Returns the number of entries that
+        changed the table.
+        """
+        imported = 0
+        for subset, order, plan_wire, lower_bound in entries:
+            existing = self.get(query, subset, order)
+            if plan_wire is not None:
+                if existing is not None and existing.has_plan:
+                    continue
+                self.store_plan(query, subset, order, Plan.from_wire(plan_wire))
+                imported += 1
+            elif lower_bound is not None:
+                if existing is not None and existing.has_plan:
+                    continue
+                self.store_lower_bound(query, subset, order, lower_bound)
+                imported += 1
+        return imported
+
     # -- statistics -----------------------------------------------------------
 
     def __len__(self) -> int:
@@ -236,6 +300,14 @@ class GlobalPlanCache(MemoTable):
     def key_for(self, query: Query, subset: int, order: int | None) -> Hashable:
         """Key by canonical logical expression (relation names + predicates)."""
         return canonical_expression_key(query, subset, order)
+
+    def export_entries(self, exclude=None):
+        """Cross-query cells are not ``(subset, order)``-keyed; refuse export."""
+        raise TypeError(
+            "GlobalPlanCache entries are keyed by canonical expression and "
+            "cannot be exported in the per-query wire format; use a plain "
+            "MemoTable for parallel workers"
+        )
 
     def store_plan(
         self, query: Query, subset: int, order: int | None, plan: Plan

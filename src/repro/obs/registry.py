@@ -47,6 +47,10 @@ class Counter:
     def inc(self, amount: int = 1) -> None:
         self.value += amount
 
+    def merge(self, other: "Counter") -> None:
+        """Accumulate another counter (parallel per-worker registries)."""
+        self.value += other.value
+
     def to_dict(self) -> dict[str, Any]:
         return {"type": "counter", "value": self.value}
 
@@ -69,6 +73,16 @@ class Histogram:
     def observe(self, value: float) -> None:
         self.values.append(value)
         self.total += value
+
+    def merge(self, other: "Histogram") -> None:
+        """Append another histogram's raw observations to this one.
+
+        Percentiles of the merged distribution are exact (raw values are
+        kept), which is what makes per-worker registries of a parallel run
+        foldable into one apples-to-apples distribution.
+        """
+        self.values.extend(other.values)
+        self.total += other.total
 
     @property
     def count(self) -> int:
@@ -126,6 +140,10 @@ class Timer:
         """``with timer.time(): work()`` records one observation."""
         return _TimerContext(self)
 
+    def merge(self, other: "Timer") -> None:
+        """Fold another timer's observations into this one."""
+        self.histogram.merge(other.histogram)
+
     @property
     def count(self) -> int:
         return self.histogram.count
@@ -182,6 +200,20 @@ class MetricsRegistry:
 
     def histogram(self, name: str) -> Histogram:
         return self._get_or_create(name, Histogram)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one, instrument by instrument.
+
+        Instruments present in both must share a type (the usual
+        name-collision rule); instruments only in ``other`` are adopted
+        with their current contents.  Used to fold the per-worker
+        registries of a parallel run into the parent's registry so
+        distribution instruments (e.g. time-between-joins) cover the whole
+        run.
+        """
+        for name, instrument in other._instruments.items():
+            mine = self._get_or_create(name, type(instrument))
+            mine.merge(instrument)
 
     def __contains__(self, name: str) -> bool:
         return name in self._instruments

@@ -1,0 +1,179 @@
+"""Fork-point selection for parallel partition search.
+
+The top-down recursion of Algorithm 1 decomposes into independent
+subproblems two ways, and this module computes both kinds of frontier:
+
+* **Level frontiers** (:func:`level_frontiers`) — every expression the
+  serial search memoizes, grouped by size.  Any connected subset of a
+  connected query graph is reachable by top-down partitioning (peel a
+  spanning-tree leaf outside the target at each step), so for CP-free
+  spaces the frontier at size ``k`` is exactly the connected ``k``-subsets
+  and for spaces with cartesian products it is all ``k``-subsets.  Solving
+  level ``k`` requires only levels ``< k``, so each level is an
+  embarrassingly parallel batch and every expression is computed exactly
+  once globally — the work-conserving policy.
+* **Partition frontiers** (:func:`partition_frontier`) — the minimal cuts
+  the strategy emits at the top of the partition tree.  Each cut is an
+  independent pair of subproblems whose solutions combine into a full
+  query plan, which is what lets workers tighten a shared cost bound
+  (Section 4's accumulated-cost bounding, made cross-process).  Workers
+  duplicate shared sub-subsets in this mode; it trades total work for
+  zero synchronization barriers.
+
+Shard balancing is deterministic LPT (longest processing time first) over
+either a static weight — exponential in subset size, scaled by internal
+edge count, a proxy for the partition-enumeration cost — or measured
+per-subtree wall times from a recorded span trace (:func:`trace_weights`),
+closing the loop with the ``repro.obs`` tracer.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable
+
+from repro.core.bitset import popcount
+from repro.core.joingraph import JoinGraph
+from repro.spaces import PlanSpace
+
+__all__ = [
+    "balance_shards",
+    "connected_subsets",
+    "default_weight",
+    "level_frontiers",
+    "partition_frontier",
+    "trace_weights",
+]
+
+
+def connected_subsets(graph: JoinGraph, max_size: int | None = None) -> list[int]:
+    """All masks of connected induced subgraphs, smallest-first.
+
+    Breadth-first growth by neighbour extension: a connected subset of
+    size ``k + 1`` is some connected ``k``-subset plus a neighbour, so the
+    enumeration touches each connected subset once per generating parent
+    (deduplicated by a seen-set) instead of scanning all ``2^n`` masks —
+    linear in the output size for sparse graphs like chains.
+    """
+    limit = graph.n if max_size is None else min(max_size, graph.n)
+    frontier = [1 << v for v in range(graph.n)]
+    seen = set(frontier)
+    out = list(frontier)
+    size = 1
+    while frontier and size < limit:
+        nxt = []
+        for subset in frontier:
+            neighbours = graph.neighbors_of_set(subset)
+            while neighbours:
+                low = neighbours & -neighbours
+                neighbours ^= low
+                grown = subset | low
+                if grown not in seen:
+                    seen.add(grown)
+                    nxt.append(grown)
+        nxt.sort()
+        out.extend(nxt)
+        frontier = nxt
+        size += 1
+    return out
+
+
+def level_frontiers(graph: JoinGraph, space: PlanSpace) -> list[list[int]]:
+    """Proper-subset expressions of the search, grouped by size.
+
+    Returns ``levels[0] .. levels[n-2]`` holding the masks of size
+    ``1 .. n-1`` (the root expression is left to the finishing pass).
+    CP-free spaces memoize connected subsets only; spaces with cartesian
+    products reach every non-empty subset.
+    """
+    n = graph.n
+    levels: list[list[int]] = [[] for _ in range(n - 1)] if n > 1 else []
+    if n <= 1:
+        return levels
+    if space.allows_cartesian_products:
+        for mask in range(1, graph.all_vertices):
+            levels[popcount(mask) - 1].append(mask)
+    else:
+        for mask in connected_subsets(graph, max_size=n - 1):
+            levels[popcount(mask) - 1].append(mask)
+    return levels
+
+
+def partition_frontier(
+    graph: JoinGraph, strategy, subset: int | None = None
+) -> list[tuple[int, int]]:
+    """Deduplicated top-level cuts of ``subset`` (default: the full query).
+
+    The strategy emits both orientations of each cut; workers solve both
+    sides regardless, so only the first orientation of each unordered cut
+    is kept (in emission order, which is deterministic per strategy).
+    """
+    from repro.analysis.metrics import Metrics
+
+    if subset is None:
+        subset = graph.all_vertices
+    cuts: list[tuple[int, int]] = []
+    seen: set[frozenset[int]] = set()
+    for left, right in strategy.partitions(graph, subset, Metrics()):
+        key = frozenset((left, right))
+        if key in seen:
+            continue
+        seen.add(key)
+        cuts.append((left, right))
+    return cuts
+
+
+def default_weight(graph: JoinGraph, subset: int) -> float:
+    """Static cost estimate for solving ``subset``: ~partition count.
+
+    Exponential in subset size, scaled by the internal edge count so that
+    dense subsets of a random graph outweigh sparse ones of the same size.
+    Only relative magnitudes matter (LPT input).
+    """
+    size = popcount(subset)
+    return float(1 + graph.edge_count_within(subset)) * float(1 << min(size, 40))
+
+
+def trace_weights(spans: Iterable) -> dict[int, float]:
+    """Per-subset inclusive wall times from a recorded span trace.
+
+    Accepts an iterable of :class:`~repro.obs.tracer.Span` (or a
+    :class:`~repro.obs.tracer.RecordingTracer`, via its ``spans()``
+    method).  Feeding a previous run's trace back into
+    :func:`balance_shards` is the trace-guided fork-point selection mode:
+    measured subtree times replace the static estimate.
+    """
+    if hasattr(spans, "spans"):
+        spans = spans.spans()
+    weights: dict[int, float] = {}
+    for span in spans:
+        weights[span.subset] = max(weights.get(span.subset, 0.0), span.elapsed)
+    return weights
+
+
+def balance_shards(
+    items: list,
+    shard_count: int,
+    weight: Callable[[object], float],
+) -> list[list]:
+    """Deterministic LPT assignment of ``items`` into ``shard_count`` bins.
+
+    Items are sorted heaviest-first (ties by item, so the assignment is a
+    pure function of the inputs) and each is placed on the least-loaded
+    shard (ties by shard index).  Within each shard the original relative
+    order is restored so workers process subsets smallest-mask-first.
+    """
+    if shard_count < 1:
+        raise ValueError(f"need at least one shard, got {shard_count}")
+    order = {item: i for i, item in enumerate(items)}
+    ranked = sorted(items, key=lambda item: (-weight(item), order[item]))
+    heap = [(0.0, shard) for shard in range(shard_count)]
+    heapq.heapify(heap)
+    shards: list[list] = [[] for _ in range(shard_count)]
+    for item in ranked:
+        load, shard = heapq.heappop(heap)
+        shards[shard].append(item)
+        heapq.heappush(heap, (load + weight(item), shard))
+    for shard_items in shards:
+        shard_items.sort(key=lambda item: order[item])
+    return shards

@@ -1,0 +1,60 @@
+"""Deterministic folding of worker results into the parent's state.
+
+Workers reply in worker-index order (the pool gathers pipe replies
+sequentially), and every fold here iterates replies in that same order, so
+a parallel run is a pure function of (query, algorithm, worker count,
+policy): the merged memo, metrics, and registry are identical run-to-run.
+
+The memo conflict policy lives in :meth:`repro.memo.MemoTable.import_entries`
+— an existing plan always wins (plans stored by the top-down search are
+optimal for their expression, so any duplicate is equal-cost and the
+first-writer rule merely pins tie-breaking to worker order), and lower
+bounds keep the maximum, since every worker's bound is sound.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.metrics import Metrics
+from repro.catalog.query import Query
+from repro.memo import MemoTable
+from repro.obs.registry import MetricsRegistry
+
+from repro.parallel.workers import WorkerResult
+
+__all__ = ["merge_entries", "merge_worker_results"]
+
+
+def merge_entries(
+    memo: MemoTable, query: Query, entry_lists: Iterable[Sequence]
+) -> int:
+    """Fold per-worker wire-entry lists into ``memo``; return entries kept.
+
+    ``entry_lists`` must be in worker order.  The count excludes entries
+    dropped by the conflict policy (already-present plans), so it is the
+    number of cells this merge actually contributed.
+    """
+    imported = 0
+    for entries in entry_lists:
+        if entries:
+            imported += memo.import_entries(query, entries)
+    return imported
+
+
+def merge_worker_results(
+    metrics: Metrics,
+    registry: MetricsRegistry | None,
+    results: Sequence[WorkerResult],
+) -> None:
+    """Fold every worker's counters and instruments into the parent's.
+
+    Additive counters sum (so e.g. ``join_operators_costed`` over all
+    workers plus the parent equals the serial total under exhaustive
+    enumeration); gauges like ``peak_memo_cells`` take the maximum; raw
+    histogram observations concatenate, keeping merged percentiles exact.
+    """
+    for result in results:
+        metrics.merge(result.metrics)
+        if registry is not None and result.registry is not None:
+            registry.merge(result.registry)

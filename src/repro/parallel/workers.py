@@ -1,0 +1,327 @@
+"""Process-pool worker runtime for parallel partition search.
+
+One driver process owns ``N`` long-lived worker processes, each holding a
+private :class:`~repro.memo.MemoTable` and a serial
+:class:`~repro.enumerator.TopDownEnumerator` over the *same* query (a
+subproblem is just a vertex-subset mask, so no induced-subgraph reindexing
+is needed).  Communication is one duplex pipe per worker with a strict
+request/reply protocol, so task→worker assignment is fully deterministic —
+worker ``i`` always receives shard ``i`` — which is what makes merged
+results reproducible run-to-run.
+
+Per round, a worker
+
+1. absorbs memo entries computed by *other* workers in earlier rounds
+   (compact wire tuples, see :meth:`~repro.memo.MemoTable.export_entries`),
+2. solves its assigned subsets (level policy) or cut pairs (subtree
+   policy, optionally under a shared accumulated-cost bound), and
+3. ships back exactly the memo entries it newly produced.
+
+On ``finish`` the worker returns its :class:`~repro.analysis.metrics.Metrics`
+and optional :class:`~repro.obs.registry.MetricsRegistry`, and writes its
+span trace to a per-worker JSONL file when tracing was requested.
+
+Everything sent across the pipe is plain data (masks, floats, wire
+tuples), so the runtime works under both ``fork`` and ``spawn`` start
+methods; the worker entry point is a module-level function for
+spawn-safety.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.analysis.metrics import Metrics
+from repro.catalog.query import Query
+from repro.cost.io_model import CostModel
+from repro.enumerator import Bounding, TopDownEnumerator
+from repro.memo import MemoTable
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import RecordingTracer
+
+__all__ = ["WorkerTask", "WorkerResult", "WorkerPool", "preferred_start_method"]
+
+
+def preferred_start_method() -> str:
+    """``fork`` where available (cheap, shares the parent image), else spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+@dataclass
+class WorkerTask:
+    """One round of work for one worker.
+
+    ``absorb`` carries memo entries from other workers' previous rounds;
+    ``subsets`` are level-policy expressions to solve; ``pairs`` are
+    subtree-policy cuts, each solved side-by-side and (under accumulated
+    bounding) used to tighten the shared global bound.
+    """
+
+    absorb: list = field(default_factory=list)
+    subsets: list[int] = field(default_factory=list)
+    pairs: list[tuple[int, int]] = field(default_factory=list)
+
+
+@dataclass
+class WorkerResult:
+    """Final state shipped back by a worker on ``finish``."""
+
+    worker: int
+    metrics: Metrics
+    registry: Optional[MetricsRegistry]
+    span_count: Optional[int]
+    trace_path: Optional[str]
+
+
+class _WorkerState:
+    """Worker-process side: the enumerator and its export bookkeeping."""
+
+    def __init__(self, init: dict[str, Any], shared_bound) -> None:
+        from repro.registry import make_optimizer
+
+        self.query: Query = init["query"]
+        self.policy: str = init["policy"]
+        self.shared_bound = shared_bound
+        self.metrics = Metrics()
+        self.registry = MetricsRegistry() if init["want_registry"] else None
+        self.trace_path: Optional[str] = init["trace_path"]
+        self.tracer = RecordingTracer() if self.trace_path else None
+        self.enumerator = make_optimizer(
+            init["algorithm"],
+            self.query,
+            init["cost_model"],
+            memo=MemoTable(),
+            metrics=self.metrics,
+            tracer=self.tracer,
+            registry=self.registry,
+        )
+        if not isinstance(self.enumerator, TopDownEnumerator):
+            raise TypeError("parallel workers require a top-down algorithm")
+        self.accumulated = Bounding.ACCUMULATED in self.enumerator.bounding
+        if self.policy == "level":
+            # Budgets cannot flow down a level-synchronous schedule; the
+            # finishing pass re-applies accumulated bounding at the root.
+            self.enumerator.bounding &= ~Bounding.ACCUMULATED
+            self.accumulated = False
+        self._sent_keys: set = set()
+
+    def _budget(self) -> Optional[float]:
+        if not (self.accumulated and self.shared_bound is not None):
+            return None
+        return self.shared_bound.get()
+
+    def run(self, task_payload: dict[str, Any]) -> list:
+        memo = self.enumerator.memo
+        absorbed = task_payload.get("absorb", ())
+        if absorbed:
+            memo.import_entries(self.query, absorbed)
+            self._sent_keys.update(
+                (subset, order) for subset, order, _, _ in absorbed
+            )
+        for subset in task_payload.get("subsets", ()):
+            self.enumerator.compute_best(subset)
+        cost_model: CostModel = self.enumerator.cost_model
+        for left, right in task_payload.get("pairs", ()):
+            budget = self._budget()
+            left_plan = self.enumerator.compute_best(left, budget=budget)
+            if left_plan is None:
+                continue
+            right_plan = self.enumerator.compute_best(right, budget=budget)
+            if right_plan is None:
+                continue
+            if self.accumulated and self.shared_bound is not None:
+                children = left_plan.cost + right_plan.cost
+                for method in cost_model.JOIN_METHODS:
+                    operator = cost_model.operator_cost(
+                        self.query, method, left, right
+                    )
+                    self.shared_bound.tighten(children + operator)
+        fresh = memo.export_entries(exclude=self._sent_keys)
+        self._sent_keys.update((subset, order) for subset, order, _, _ in fresh)
+        return fresh
+
+    def finish(self) -> dict[str, Any]:
+        span_count = None
+        if self.tracer is not None and self.trace_path is not None:
+            from repro.obs.exporters import write_jsonl
+
+            span_count = write_jsonl(self.tracer, self.trace_path)
+        return {
+            "metrics": self.metrics,
+            "registry": self.registry,
+            "span_count": span_count,
+        }
+
+
+def worker_main(conn, worker_index: int, shared_bound) -> None:
+    """Entry point of a worker process: init, serve rounds, finish."""
+    state: Optional[_WorkerState] = None
+    try:
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            try:
+                if kind == "init":
+                    state = _WorkerState(message[1], shared_bound)
+                    conn.send(("ok", None))
+                elif kind == "run":
+                    conn.send(("ok", state.run(message[1])))
+                elif kind == "finish":
+                    conn.send(("done", state.finish() if state else None))
+                    break
+                else:
+                    conn.send(("error", f"unknown message kind {kind!r}"))
+            except Exception:
+                conn.send(("error", traceback.format_exc()))
+    except (EOFError, KeyboardInterrupt):
+        pass
+    finally:
+        conn.close()
+
+
+class WorkerPool:
+    """Driver-side handle on ``N`` worker processes (context manager).
+
+    The pool is cheap relative to enumeration under the ``fork`` start
+    method; under ``spawn`` each worker pays an interpreter start, which
+    the scheduler amortizes by keeping workers alive for the whole run.
+    """
+
+    def __init__(
+        self,
+        query: Query,
+        algorithm: str,
+        workers: int,
+        *,
+        policy: str = "level",
+        cost_model: CostModel | None = None,
+        want_registry: bool = False,
+        shared_bound=None,
+        trace_dir: str | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.workers = workers
+        self._context = multiprocessing.get_context(
+            start_method or preferred_start_method()
+        )
+        self._connections = []
+        self._processes = []
+        self._finished = False
+        for index in range(workers):
+            parent_conn, child_conn = self._context.Pipe()
+            process = self._context.Process(
+                target=worker_main,
+                args=(child_conn, index, shared_bound),
+                daemon=True,
+                name=f"repro-parallel-{index}",
+            )
+            process.start()
+            child_conn.close()
+            self._connections.append(parent_conn)
+            self._processes.append(process)
+        trace_paths = []
+        for index in range(workers):
+            path = None
+            if trace_dir is not None:
+                path = f"{trace_dir}/worker-{index}.jsonl"
+            trace_paths.append(path)
+        self._trace_paths = trace_paths
+        init = {
+            "query": query,
+            "algorithm": algorithm,
+            "cost_model": cost_model,
+            "policy": policy,
+            "want_registry": want_registry,
+        }
+        for index, conn in enumerate(self._connections):
+            conn.send(("init", {**init, "trace_path": trace_paths[index]}))
+        for index, conn in enumerate(self._connections):
+            self._expect_ok(index, conn.recv())
+
+    def _expect_ok(self, index: int, reply) -> Any:
+        kind, payload = reply
+        if kind == "error":
+            self.terminate()
+            raise RuntimeError(f"parallel worker {index} failed:\n{payload}")
+        return payload
+
+    def run_round(self, tasks: list[WorkerTask]) -> list[list]:
+        """Dispatch one task per worker; return per-worker new wire entries.
+
+        All sends complete before any receive, so workers run their tasks
+        concurrently; replies are gathered in worker order, keeping the
+        downstream merge deterministic.
+        """
+        if len(tasks) != self.workers:
+            raise ValueError(f"expected {self.workers} tasks, got {len(tasks)}")
+        for conn, task in zip(self._connections, tasks):
+            conn.send(
+                ("run", {"absorb": task.absorb, "subsets": task.subsets,
+                         "pairs": task.pairs})
+            )
+        return [
+            self._expect_ok(index, conn.recv())
+            for index, conn in enumerate(self._connections)
+        ]
+
+    def finish(self) -> list[WorkerResult]:
+        """Collect final metrics/registries/traces and stop the workers."""
+        if self._finished:
+            return []
+        self._finished = True
+        for conn in self._connections:
+            conn.send(("finish",))
+        results = []
+        for index, conn in enumerate(self._connections):
+            kind, payload = conn.recv()
+            if kind == "error":
+                self.terminate()
+                raise RuntimeError(f"parallel worker {index} failed:\n{payload}")
+            results.append(
+                WorkerResult(
+                    worker=index,
+                    metrics=payload["metrics"],
+                    registry=payload["registry"],
+                    span_count=payload["span_count"],
+                    trace_path=self._trace_paths[index],
+                )
+            )
+        self._join()
+        return results
+
+    def _join(self) -> None:
+        for conn in self._connections:
+            conn.close()
+        for process in self._processes:
+            process.join(timeout=10)
+            if process.is_alive():
+                process.terminate()
+
+    def terminate(self) -> None:
+        """Hard-stop every worker (error paths)."""
+        self._finished = True
+        for conn in self._connections:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+        for process in self._processes:
+            process.join(timeout=5)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.finish()
+        else:
+            self.terminate()

@@ -100,6 +100,37 @@ class Plan:
             children=tuple(c.relabel(mapping) for c in self.children),
         )
 
+    def to_wire(self) -> tuple:
+        """Compact pickle-safe encoding (nested tuples, no class refs).
+
+        Used by the parallel subsystem to ship memo entries between
+        processes without pickling class metadata per node; round-trips
+        exactly through :meth:`from_wire`.
+        """
+        return (
+            self.op,
+            self.vertices,
+            self.cost,
+            self.cardinality,
+            self.order,
+            self.relation,
+            tuple(child.to_wire() for child in self.children),
+        )
+
+    @classmethod
+    def from_wire(cls, wire: tuple) -> "Plan":
+        """Rebuild a plan tree from :meth:`to_wire` output."""
+        op, vertices, cost, cardinality, order, relation, children = wire
+        return cls(
+            op=op,
+            vertices=vertices,
+            cost=cost,
+            cardinality=cardinality,
+            order=order,
+            relation=relation,
+            children=tuple(cls.from_wire(c) for c in children),
+        )
+
     def tree_string(self, indent: int = 0) -> str:
         """Readable multi-line rendering of the plan tree."""
         pad = "  " * indent

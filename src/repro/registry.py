@@ -17,6 +17,10 @@ algorithm; ``TLNmcAP`` adds combined bounding; ``BBNccp`` is DPccp.
 
 Friendly aliases (``mincutlazy``, ``dpccp``, ``leftdeep``, ...) resolve
 to the Table 1 names; see :data:`ALGORITHM_ALIASES`.
+
+A trailing ``@N`` requests parallel execution with ``N`` worker
+processes (top-down algorithms only): ``TBNmc@4``, ``mincutlazy@2``,
+``TLNmcAP@8``.  The ``parallel`` alias is shorthand for ``TBNmc@4``.
 """
 
 from __future__ import annotations
@@ -51,7 +55,9 @@ __all__ = [
     "available_algorithms",
     "make_optimizer",
     "optimize",
+    "parse_name",
     "resolve_alias",
+    "split_workers",
 ]
 
 _NAME_PATTERN = re.compile(
@@ -74,6 +80,9 @@ ALGORITHM_ALIASES = {
     "dpccp": "BBNccp",
     "dpsize": "BBNsize",
     "dpsub": "BBNnaive",
+    "parallel": "TBNmc@4",
+    "parallelmincut": "TBNmc@4",
+    "parallelnaive": "TBNnaive@4",
 }
 
 #: The algorithm names Table 1 lists as implemented (canonical casing).
@@ -117,26 +126,62 @@ class AlgorithmSpec:
         return self.style in {"mc", "ccp"}
 
 
+def split_workers(name: str) -> tuple[str, int | None]:
+    """Split a ``base@N`` algorithm name into ``(base, N)``.
+
+    ``N`` is the requested parallel worker count; names without the
+    suffix return ``(name, None)``.
+    """
+    base, sep, tail = name.partition("@")
+    if not sep:
+        return name, None
+    try:
+        workers = int(tail)
+    except ValueError:
+        workers = 0
+    if workers < 1:
+        raise ValueError(
+            f"invalid worker count in algorithm name {name!r}; "
+            "expected e.g. TBNmc@4"
+        )
+    return base, workers
+
+
 def resolve_alias(name: str) -> str:
     """Map a friendly alias to its Table 1 name; other names pass through.
 
     An optional ``A``/``P``/``AP`` bounding suffix (separated or not) is
-    preserved: ``mincutlazy-AP`` resolves to ``TBNmcAP``.
+    preserved: ``mincutlazy-AP`` resolves to ``TBNmcAP``.  A ``@N``
+    worker-count suffix is preserved too, and overrides any count the
+    alias itself carries (``parallel@2`` resolves to ``TBNmc@2``).
     """
-    normalized = name.lower().replace("-", "").replace("_", "")
+    base, workers = split_workers(name)
+    normalized = base.lower().replace("-", "").replace("_", "")
+    resolved = base
     for suffix in ("ap", "a", "p", ""):
         if suffix and not normalized.endswith(suffix):
             continue
         stem = normalized[: len(normalized) - len(suffix)] if suffix else normalized
         canonical = ALGORITHM_ALIASES.get(stem)
         if canonical is not None:
-            return canonical + suffix.upper()
-    return name
+            resolved = canonical + suffix.upper()
+            break
+    resolved_base, resolved_workers = split_workers(resolved)
+    if workers is not None:
+        resolved_workers = workers
+    if resolved_workers is None:
+        return resolved_base
+    return f"{resolved_base}@{resolved_workers}"
 
 
 def parse_name(name: str) -> AlgorithmSpec:
-    """Parse a Table 1 style algorithm name (or a friendly alias)."""
-    match = _NAME_PATTERN.match(resolve_alias(name))
+    """Parse a Table 1 style algorithm name (or a friendly alias).
+
+    A ``@N`` worker-count suffix is accepted and ignored: the spec
+    describes the underlying serial algorithm.
+    """
+    base, _workers = split_workers(resolve_alias(name))
+    match = _NAME_PATTERN.match(base)
     if match is None:
         raise ValueError(
             f"unrecognized algorithm name {name!r}; "
@@ -171,7 +216,7 @@ def parse_name(name: str) -> AlgorithmSpec:
     if style == "naive" and not top_down and left_deep:
         raise ValueError(f"{name!r}: Table 1 has no bottom-up left-deep naive row")
     return AlgorithmSpec(
-        name=name, top_down=top_down, space=space, style=style, bounding=bounding
+        name=base, top_down=top_down, space=space, style=style, bounding=bounding
     )
 
 
@@ -210,15 +255,50 @@ def make_optimizer(
     metrics: Metrics | None = None,
     tracer: Tracer | None = None,
     registry: MetricsRegistry | None = None,
+    workers: int | None = None,
+    parallel_policy: str = "auto",
+    worker_trace_dir: str | None = None,
+    start_method: str | None = None,
 ):
     """Instantiate the named algorithm over ``query``.
 
     Returns an object with an ``optimize(order=None) -> Plan`` method and
-    ``metrics`` attribute (either a :class:`TopDownEnumerator` or a
-    bottom-up optimizer).  ``tracer`` and ``registry`` attach the
-    :mod:`repro.obs` instrumentation; both default to off (zero overhead).
+    ``metrics`` attribute (a :class:`TopDownEnumerator`, a bottom-up
+    optimizer, or — when a worker count is requested — a
+    :class:`~repro.parallel.scheduler.ParallelEnumerator`).  ``tracer``
+    and ``registry`` attach the :mod:`repro.obs` instrumentation; both
+    default to off (zero overhead).
+
+    The worker count comes from the explicit ``workers`` argument or,
+    failing that, a ``@N`` suffix on ``name`` (``TBNmc@4``); the explicit
+    argument wins when both are present.  ``parallel_policy``,
+    ``worker_trace_dir``, and ``start_method`` configure the parallel
+    runtime and are ignored for serial runs.
     """
-    spec = parse_name(name)
+    base, suffix_workers = split_workers(resolve_alias(name))
+    if workers is None:
+        workers = suffix_workers
+    spec = parse_name(base)
+    if workers is not None:
+        if not spec.top_down:
+            raise ValueError(
+                f"{name!r}: parallel execution requires a top-down algorithm"
+            )
+        from repro.parallel.scheduler import ParallelEnumerator
+
+        return ParallelEnumerator(
+            query,
+            base,
+            workers,
+            policy=parallel_policy,
+            cost_model=cost_model,
+            memo=memo,
+            metrics=metrics,
+            tracer=tracer,
+            registry=registry,
+            trace_dir=worker_trace_dir,
+            start_method=start_method,
+        )
     if spec.top_down:
         return TopDownEnumerator(
             query,
@@ -260,7 +340,9 @@ def optimize(
     optimizer = make_optimizer(
         name, query, cost_model, metrics=metrics, tracer=tracer, registry=registry
     )
-    if isinstance(optimizer, TopDownEnumerator):
+    if isinstance(optimizer, TopDownEnumerator) or hasattr(
+        optimizer, "worker_results"
+    ):
         return optimizer.optimize(order, initial_plan=initial_plan)
     if initial_plan is not None:
         raise ValueError("initial plans require a top-down optimizer")

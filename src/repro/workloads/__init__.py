@@ -16,6 +16,7 @@ from repro.workloads.topologies import (
     wheel,
 )
 from repro.workloads.random_graphs import random_connected_graph
+from repro.workloads.seeding import DEFAULT_SEED, coerce_rng
 from repro.workloads.weights import WeightedWorkload, generate_weights, weighted_query
 
 __all__ = [
@@ -27,6 +28,8 @@ __all__ = [
     "star",
     "wheel",
     "random_connected_graph",
+    "DEFAULT_SEED",
+    "coerce_rng",
     "WeightedWorkload",
     "generate_weights",
     "weighted_query",

@@ -16,6 +16,7 @@ from __future__ import annotations
 import random
 
 from repro.core.joingraph import JoinGraph
+from repro.workloads.seeding import coerce_rng
 
 __all__ = ["random_connected_graph"]
 
@@ -35,7 +36,8 @@ def random_connected_graph(
         The factor ``C`` in ``[0, 1)``: probability that each generated edge
         connects two existing vertices rather than attaching a new one.
     rng:
-        A ``random.Random``, an int seed, or None for a fresh generator.
+        A ``random.Random``, an int seed, or None for the deterministic
+        default seed (:data:`repro.workloads.seeding.DEFAULT_SEED`).
 
     The graph is grown one edge at a time starting from a single vertex.
     Each step flips a coin: with probability ``1 - C`` a new vertex is
@@ -48,10 +50,7 @@ def random_connected_graph(
         raise ValueError(f"need n >= 1, got {n}")
     if not 0.0 <= cyclicity < 1.0:
         raise ValueError(f"cyclicity must be in [0, 1), got {cyclicity}")
-    if rng is None:
-        rng = random.Random()
-    elif isinstance(rng, int):
-        rng = random.Random(rng)
+    rng = coerce_rng(rng)
 
     if n == 1:
         return JoinGraph(1, [])

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from repro.catalog.stats import Relation
 from repro.catalog.query import Query
 from repro.core.joingraph import JoinGraph
+from repro.workloads.seeding import coerce_rng
 
 __all__ = ["WeightedWorkload", "generate_weights", "weighted_query"]
 
@@ -62,11 +63,13 @@ def generate_weights(
     graph: JoinGraph,
     rng: random.Random | int | None = None,
 ) -> WeightedWorkload:
-    """Draw Section 4.3 weights for ``graph`` and return the workload."""
-    if rng is None:
-        rng = random.Random()
-    elif isinstance(rng, int):
-        rng = random.Random(rng)
+    """Draw Section 4.3 weights for ``graph`` and return the workload.
+
+    ``rng=None`` uses the deterministic default seed (see
+    :mod:`repro.workloads.seeding`), so the same graph always yields the
+    same weighted query across processes.
+    """
+    rng = coerce_rng(rng)
 
     exponents = [rng.gauss(CARDINALITY_MU, CARDINALITY_SIGMA) for _ in range(graph.n)]
     # Keep cardinalities at least 1 tuple.

@@ -121,3 +121,51 @@ class TestObservabilityCommands:
         assert main(["trace", "--algorithm", "dpccp", "--topology",
                      "chain", "--n", "4"]) == 0
         assert "optimize" in capsys.readouterr().out
+
+
+class TestParallelCli:
+    def _cost_of(self, capsys, argv):
+        import json
+
+        assert main(argv) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_workers_flag_matches_serial_on_clique8(self, capsys):
+        base = ["optimize", "--topology", "clique", "--n", "8",
+                "--seed", "42", "--json"]
+        serial = self._cost_of(capsys, base)
+        parallel = self._cost_of(capsys, base + ["--workers", "2"])
+        assert parallel["cost"] == serial["cost"]
+        assert parallel["plan"] == serial["plan"]
+        assert parallel["parallel"]["workers"] == 2
+        assert parallel["parallel"]["tasks"] > 0
+        assert "parallel" not in serial
+
+    def test_at_suffix_algorithm_name(self, capsys):
+        payload = self._cost_of(
+            capsys,
+            ["optimize", "--algorithm", "mincutlazy@2", "--topology",
+             "star", "--n", "7", "--json"],
+        )
+        assert payload["parallel"]["workers"] == 2
+
+    def test_fork_policy_flag(self, capsys):
+        base = ["optimize", "--algorithm", "TBNmcA", "--topology", "clique",
+                "--n", "7", "--json"]
+        serial = self._cost_of(capsys, base)
+        subtree = self._cost_of(
+            capsys, base + ["--workers", "2", "--fork-policy", "subtree"]
+        )
+        assert subtree["cost"] == serial["cost"]
+        assert subtree["parallel"]["policy"] == "subtree"
+
+    def test_worker_trace_dir(self, tmp_path, capsys):
+        payload = self._cost_of(
+            capsys,
+            ["optimize", "--topology", "chain", "--n", "6", "--json",
+             "--workers", "2", "--worker-trace-dir", str(tmp_path)],
+        )
+        traces = payload["parallel"]["worker_traces"]
+        assert len(traces) == 2
+        for trace in traces:
+            assert (tmp_path / trace.split("/")[-1]).exists()

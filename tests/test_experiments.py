@@ -210,3 +210,71 @@ class TestTable2:
             / by_space["Bushy with CPs"]["TBCnaive"][cell]
         )
         assert cp_ratio < 0.8
+
+
+class TestRegressionGate:
+    """Unit coverage for the Table 2 CI regression harness."""
+
+    def test_workload_grid_shape(self):
+        from repro.experiments.regression import ALGORITHMS, SIZES, workload_cells
+
+        cells = workload_cells()
+        assert len(cells) == len(ALGORITHMS) * 3 * len(SIZES)
+        keys = {(c["algorithm"], c["topology"], c["n"]) for c in cells}
+        assert len(keys) == len(cells)  # no duplicate cells
+        assert all(isinstance(c["seed"], int) for c in cells)
+
+    def test_collect_with_injected_runner(self):
+        from repro.experiments.regression import collect
+
+        def fake_runner(cell):
+            return {
+                "cost": float(cell["n"]),
+                "metrics": {"join_operators_costed": cell["n"] * 10},
+            }
+
+        measured = collect(runner=fake_runner)
+        assert all(
+            row["join_operators_costed"] in (50, 80) for row in measured.values()
+        )
+
+    def test_compare_flags_counter_and_cost_drift(self):
+        from repro.experiments.regression import compare
+
+        baseline = {"a": {"cost": 100.0, "join_operators_costed": 10}}
+        assert compare(baseline, {"a": {"cost": 100.0, "join_operators_costed": 10}}) == []
+        [problem] = compare(
+            baseline, {"a": {"cost": 100.0, "join_operators_costed": 11}}
+        )
+        assert "join_operators_costed" in problem
+        [problem] = compare(baseline, {"a": {"cost": 101.0, "join_operators_costed": 10}})
+        assert "cost" in problem
+        # tolerance absorbs float-summation noise but not real drift
+        assert compare(
+            baseline, {"a": {"cost": 100.0 * (1 + 1e-12), "join_operators_costed": 10}}
+        ) == []
+
+    def test_compare_flags_missing_and_extra_cells(self):
+        from repro.experiments.regression import compare
+
+        baseline = {"a": {"cost": 1.0, "join_operators_costed": 1}}
+        measured = {"b": {"cost": 1.0, "join_operators_costed": 1}}
+        problems = compare(baseline, measured)
+        assert len(problems) == 2
+
+    def test_committed_baseline_loads_and_covers_grid(self):
+        import json
+        import os
+
+        from repro.experiments.regression import (
+            DEFAULT_BASELINE_PATH,
+            workload_cells,
+        )
+
+        path = os.path.join(os.path.dirname(__file__), "..", DEFAULT_BASELINE_PATH)
+        with open(path, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        assert len(baseline) == len(workload_cells())
+        for row in baseline.values():
+            assert row["cost"] > 0
+            assert row["join_operators_costed"] > 0

@@ -327,3 +327,119 @@ class TestAliases:
     def test_unknown_name_still_rejected(self):
         with pytest.raises(ValueError, match="unrecognized"):
             make_optimizer("nonsense", weighted_query(chain(3), 1))
+
+
+class TestMetricsMerge:
+    """Metrics.merge / snapshot / diff under interleaved multi-source updates."""
+
+    def test_merge_sums_counters_and_maxes_peak(self):
+        a, b = Metrics(), Metrics()
+        a.join_operators_costed = 10
+        a.peak_memo_cells = 5
+        b.join_operators_costed = 7
+        b.peak_memo_cells = 9
+        a.merge(b)
+        assert a.join_operators_costed == 17
+        assert a.peak_memo_cells == 9
+
+    def test_merge_unions_expansion_sets(self):
+        a, b = Metrics(), Metrics()
+        a.note_expansion((1, None))
+        b.note_expansion((1, None))
+        b.note_expansion((2, None))
+        a.merge(b)
+        assert a.unique_expressions_expanded == 2
+        # re-expansion counts are per-source and sum additively
+        assert a.expressions_expanded == 3
+
+    def test_snapshot_diff_with_interleaved_merges(self):
+        # A snapshot taken mid-run must yield correct deltas even when a
+        # worker's metrics are merged in between snapshot and diff.
+        parent, worker = Metrics(), Metrics()
+        parent.memo_lookups = 4
+        before = parent.snapshot()
+        parent.memo_lookups += 2
+        worker.memo_lookups = 10
+        worker.join_operators_costed = 3
+        parent.merge(worker)
+        delta = parent.diff(before)
+        assert delta["memo_lookups"] == 12
+        assert delta["join_operators_costed"] == 3
+
+    def test_interleaved_updates_preserve_totals(self):
+        # Simulate two workers and a parent updating in alternation; the
+        # merged totals must equal the sum regardless of interleaving.
+        parent = Metrics()
+        workers = [Metrics(), Metrics()]
+        for step in range(30):
+            source = workers[step % 2] if step % 3 else parent
+            source.partitions_emitted += 1
+            source.join_operators_costed += 2
+        expected_partitions = (
+            parent.partitions_emitted
+            + sum(w.partitions_emitted for w in workers)
+        )
+        for worker in workers:
+            parent.merge(worker)
+        assert parent.partitions_emitted == expected_partitions
+        assert parent.join_operators_costed == 2 * expected_partitions
+
+    def test_merge_accumulates_parallel_counters(self):
+        a, b = Metrics(), Metrics()
+        a.parallel_tasks = 3
+        b.parallel_tasks = 4
+        b.parallel_entries_merged = 6
+        a.merge(b)
+        assert a.parallel_tasks == 7
+        assert a.parallel_entries_merged == 6
+
+
+class TestRegistryMerge:
+    """MetricsRegistry.merge folds per-worker instruments deterministically."""
+
+    def test_counter_and_histogram_merge(self):
+        from repro.obs.registry import MetricsRegistry
+
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.counter("c").inc(2)
+        worker.counter("c").inc(3)
+        parent.histogram("h").observe(1.0)
+        worker.histogram("h").observe(2.0)
+        worker.histogram("h").observe(4.0)
+        parent.merge(worker)
+        assert parent.counter("c").value == 5
+        hist = parent.histogram("h")
+        assert hist.count == 3
+        assert hist.total == 7.0
+        assert hist.max == 4.0
+
+    def test_merge_adopts_unknown_instruments(self):
+        from repro.obs.registry import MetricsRegistry
+
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        worker.timer("t").observe(0.5)
+        parent.merge(worker)
+        assert parent.timer("t").count == 1
+        # and the adopted instrument is a copy-by-merge, shared totals only
+        assert parent.timer("t").total == 0.5
+
+    def test_merge_type_collision_rejected(self):
+        from repro.obs.registry import MetricsRegistry
+
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.counter("x").inc()
+        worker.histogram("x").observe(1.0)
+        with pytest.raises(TypeError):
+            parent.merge(worker)
+
+    def test_merged_percentiles_are_exact(self):
+        from repro.obs.registry import MetricsRegistry
+
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        for v in (1.0, 2.0, 3.0):
+            parent.histogram("h").observe(v)
+        for v in (4.0, 5.0):
+            worker.histogram("h").observe(v)
+        parent.merge(worker)
+        assert parent.histogram("h").percentile(50) == 3.0
+        assert parent.histogram("h").percentile(100) == 5.0
