@@ -5,18 +5,25 @@ predicted-cost bounding's edge over exhaustive shrinks with storage and
 plateaus below 10 %; accumulated-cost bounding improves steadily as
 storage shrinks (less interference with memoization) and dominates at
 0-1 % storage.
+
+The extension series (``test_emit_memory_json``) compares the eviction
+policies of :mod:`repro.cache` at equal capacity and gates the cost-aware
+policy on the clique-10 cell: at 50 % capacity, ``cost`` must not
+recompute more join operators than ``lru``.  The machine-readable grid is
+written to ``BENCH_memory.json`` (uploaded as a CI artifact).
 """
 
 import pytest
 
+from repro.analysis.metrics import Metrics
 from repro.experiments import EXPERIMENTS
 from repro.experiments.memory import required_cells
 from repro.memo import MemoTable
 from repro.registry import make_optimizer
-from repro.workloads import star
+from repro.workloads import clique, star
 from repro.workloads.weights import weighted_query
 
-from benchmarks.conftest import print_result
+from benchmarks.conftest import print_result, write_bench_json
 
 N = 8
 SEED = 31
@@ -58,3 +65,59 @@ class TestSeries:
         last = max(zero_rows, key=lambda r: r["n"])
         assert last["A_rel"] < last["P_rel"]
         assert last["A_rel"] < 1.0
+
+
+def _clique10_policy_gate() -> dict:
+    """The CI regression cell: lru vs cost on clique-10 at half capacity.
+
+    Measured directly (not through the experiment driver) so the gate
+    stays pinned to one configuration regardless of how the driver's
+    workload grid evolves.
+    """
+    query = weighted_query(clique(10), SEED)
+    unbounded_metrics = Metrics()
+    unbounded = make_optimizer("TBNmc", query, metrics=unbounded_metrics)
+    best = unbounded.optimize()
+    capacity = unbounded.memo.populated_cells() // 2
+    cell = {
+        "topology": "clique",
+        "n": 10,
+        "capacity": capacity,
+        "unbounded_joins": unbounded_metrics.join_operators_costed,
+    }
+    for policy in ("lru", "cost"):
+        metrics = Metrics()
+        plan = make_optimizer(
+            "TBNmc", query, metrics=metrics,
+            memo_policy=policy, memo_capacity=capacity,
+        ).optimize()
+        assert plan.cost == best.cost, f"{policy} lost optimality"
+        cell[f"{policy}_joins"] = metrics.join_operators_costed
+    return cell
+
+
+def test_emit_memory_json(scale):
+    """Eviction-policy grid -> BENCH_memory.json, with the clique-10 gate."""
+    result = EXPERIMENTS["memory-policies"](scale)
+    print_result(result)
+    assert result.rows
+    assert all(row["optimal"] for row in result.rows)
+    gate = _clique10_policy_gate()
+    path = write_bench_json(
+        "memory",
+        {
+            "experiment": result.experiment_id,
+            "title": result.title,
+            "columns": result.columns,
+            "rows": result.rows,
+            "notes": result.notes,
+            "clique10_gate": gate,
+        },
+    )
+    print(f"\nwrote {path}")
+    # The tentpole's headline claim: cost-aware eviction never recomputes
+    # more join operators than LRU on the dense gate cell.
+    assert gate["cost_joins"] <= gate["lru_joins"], (
+        f"cost policy recomputed more than lru on clique-10: "
+        f"{gate['cost_joins']} > {gate['lru_joins']}"
+    )

@@ -1,0 +1,66 @@
+"""Cost-aware memoization subsystem (Section 5.1 extended).
+
+The paper treats the memo of top-down partitioning search as a *cache*:
+entries may be dropped under memory pressure and simply recomputed on
+demand.  Its experiments (Figures 21-30) use recency (LRU) as the
+eviction signal, and Section 5.1 sketches weighting eviction "by the
+logical description".  This package carries that idea to its conclusion:
+every cell is priced by what it would cost to *recompute*, and eviction,
+demotion, and cross-query reuse all trade against that price.
+
+Components
+----------
+:mod:`repro.cache.costing`
+    Per-cell recompute-cost accounting: a logical proxy (subset size x
+    internal edges x a partition-count factor) that is always available,
+    refined by measured exclusive work when a
+    :class:`~repro.obs.tracer.RecordingTracer` is attached, or replaced
+    wholesale by a :class:`CostProfile` saved from a prior run's trace
+    (the ``repro profile-memo`` CLI step).
+
+:mod:`repro.cache.policies`
+    Pluggable eviction policies behind one interface: the paper's
+    baseline ``lru`` and ``smallest`` plus the cost-aware ``cost``
+    (GreedyDual: score = global inflation + recompute weight) and
+    ``profile`` (GreedyDual driven by offline profile weights).
+
+:mod:`repro.cache.coldtier`
+    A compact second storage tier of wire-format entries
+    (:meth:`~repro.plans.physical.Plan.to_wire`): eviction from the hot
+    dict *demotes* instead of discards, and the cold tier is consulted
+    before recomputing.
+
+:mod:`repro.cache.stats`
+    Hit/miss/eviction/demotion accounting surfaced through
+    ``repro optimize --json`` as the ``memo`` block.
+
+:class:`~repro.memo.MemoTable` is the facade over all of this; see
+``docs/memory.md`` for the user-level story.
+"""
+
+from repro.cache.coldtier import ColdTier
+from repro.cache.costing import CostProfile, logical_cost_proxy
+from repro.cache.policies import (
+    POLICY_NAMES,
+    CostPolicy,
+    EvictionPolicy,
+    LRUPolicy,
+    ProfilePolicy,
+    SmallestPolicy,
+    make_policy,
+)
+from repro.cache.stats import CacheStats
+
+__all__ = [
+    "CacheStats",
+    "ColdTier",
+    "CostPolicy",
+    "CostProfile",
+    "EvictionPolicy",
+    "LRUPolicy",
+    "POLICY_NAMES",
+    "ProfilePolicy",
+    "SmallestPolicy",
+    "logical_cost_proxy",
+    "make_policy",
+]

@@ -1,0 +1,85 @@
+"""The cold storage tier: demoted memo cells in wire format.
+
+Figures 21-30 treat eviction as a total loss — the cell is recomputed
+from scratch on the next request.  The cold tier makes eviction a
+*demotion* instead: the victim's plan is kept as the compact nested
+tuples of :meth:`~repro.plans.physical.Plan.to_wire` (no per-node object
+headers, no class references — the same format PR 2 ships between
+worker processes), and the table consults it before recomputing.  A hit
+promotes the entry back into the hot dict and counts the recompute work
+it avoided.
+
+The tier has its own capacity with plain FIFO-LRU turnover — by the
+time a cell reaches the cold tier its policy score has already lost the
+argument once, so a second scored competition buys little.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+__all__ = ["ColdEntry", "ColdTier"]
+
+
+class ColdEntry:
+    """One demoted cell: wire-format plan or bound, plus its weight."""
+
+    __slots__ = ("plan_wire", "lower_bound", "weight")
+
+    def __init__(
+        self,
+        plan_wire: Optional[tuple],
+        lower_bound: Optional[float],
+        weight: float,
+    ) -> None:
+        self.plan_wire = plan_wire
+        self.lower_bound = lower_bound
+        self.weight = weight
+
+
+class ColdTier:
+    """Capacity-bounded second tier keyed like the hot tier.
+
+    ``capacity=None`` means unbounded (every eviction is preserved);
+    ``capacity=0`` is rejected — use no cold tier at all instead.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(
+                f"cold tier capacity must be >= 1 or None, got {capacity}"
+            )
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, ColdEntry] = OrderedDict()
+        #: Entries dropped by this tier's own capacity bound.
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def put(
+        self,
+        key: Hashable,
+        plan_wire: Optional[tuple],
+        lower_bound: Optional[float],
+        weight: float,
+    ) -> None:
+        """Demote one cell, displacing the oldest cold entry if full."""
+        entries = self._entries
+        if key in entries:
+            del entries[key]
+        elif self.capacity is not None and len(entries) >= self.capacity:
+            entries.popitem(last=False)
+            self.evictions += 1
+        entries[key] = ColdEntry(plan_wire, lower_bound, weight)
+
+    def take(self, key: Hashable) -> Optional[ColdEntry]:
+        """Remove and return the entry for ``key`` (promotion), if any."""
+        return self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        self._entries.clear()

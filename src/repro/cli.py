@@ -5,12 +5,18 @@ Subcommands::
     repro list-algorithms                      # registry contents
     repro optimize --topology star --n 8 ...   # optimize one query
     repro trace --algorithm mincutlazy ...     # traced run + recursion tree
+    repro profile-memo --out prof.json ...     # trace -> memo cost profile
     repro experiment fig9 [--scale paper]      # regenerate a figure/table
     repro experiment all [--scale small]       # everything (EXPERIMENTS.md)
 
-``optimize`` accepts ``--json`` (machine-readable result) and
+``optimize`` accepts ``--json`` (machine-readable result),
 ``--trace-out PATH`` (JSONL span dump, one span per memoized expression
-explored); ``trace`` prints the recursion tree of ``docs/observability.md``.
+explored), and the ``--memo-*`` family bounding the memo (Section 5.1:
+``--memo-capacity`` cells, ``--memo-policy`` eviction, cold demotion
+tier, offline profile); ``trace`` prints the recursion tree of
+``docs/observability.md``; ``profile-memo`` distills a traced run (or an
+existing trace file) into the per-expression recompute weights that
+``--memo-policy profile`` consumes.
 """
 
 from __future__ import annotations
@@ -59,6 +65,20 @@ def _build_query(args: argparse.Namespace):
     return weighted_query(graph, args.seed)
 
 
+def _load_memo_profile(args: argparse.Namespace):
+    """Load ``--memo-profile`` if given; returns (profile, error_code)."""
+    path = getattr(args, "memo_profile", None)
+    if not path:
+        return None, None
+    from repro.cache.costing import CostProfile
+
+    try:
+        return CostProfile.load(path), None
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot load memo profile {path!r}: {exc}", file=sys.stderr)
+        return None, 2
+
+
 def _cmd_optimize(args: argparse.Namespace) -> int:
     query = _build_query(args)
     metrics = Metrics()
@@ -66,6 +86,9 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     tracer = RecordingTracer() if tracing else None
     registry = MetricsRegistry() if (tracing or args.json) else None
     workers = getattr(args, "workers", 0) or None
+    memo_profile, error = _load_memo_profile(args)
+    if error is not None:
+        return error
     optimizer = make_optimizer(
         args.algorithm,
         query,
@@ -75,6 +98,10 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         workers=workers,
         parallel_policy=getattr(args, "fork_policy", "auto"),
         worker_trace_dir=getattr(args, "worker_trace_dir", None),
+        memo_policy=getattr(args, "memo_policy", None),
+        memo_capacity=getattr(args, "memo_capacity", None),
+        memo_cold_capacity=getattr(args, "memo_cold_capacity", None),
+        memo_profile=memo_profile,
     )
     with Stopwatch() as stopwatch:
         plan = optimizer.optimize()
@@ -109,6 +136,9 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
             "plan_tree": plan.tree_string(),
             "metrics": metrics.to_dict(),
         }
+        memo = getattr(optimizer, "memo", None)
+        if memo is not None and hasattr(memo, "summary"):
+            payload["memo"] = memo.summary()
         if registry is not None:
             payload["instruments"] = registry.to_dict()
         if tracer is not None:
@@ -129,6 +159,15 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     print(f"plan: {plan.sql_like()}")
     print(f"cost: {plan.cost:.6g}")
     print(plan.tree_string())
+    memo = getattr(optimizer, "memo", None)
+    if memo is not None and hasattr(memo, "summary") and memo.capacity is not None:
+        s = memo.summary()
+        print(
+            f"memo: {s['policy']} policy, capacity {s['capacity']}, "
+            f"{s['hits']} hits / {s['misses']} misses, "
+            f"{s['evictions']} evictions, {s['demotions']} demotions, "
+            f"{s['cold_hits']} cold hits"
+        )
     if tracer is not None:
         print(f"trace: {span_count} spans -> {args.trace_out}")
     if args.metrics:
@@ -166,6 +205,47 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             print(f"cannot write trace to {args.out!r}: {exc}", file=sys.stderr)
             return 2
         print(f"\ntrace: {count} spans -> {args.out}")
+    return 0
+
+
+def _cmd_profile_memo(args: argparse.Namespace) -> int:
+    """Distill a traced run into a memo cost profile (``profile`` policy).
+
+    Either replays an existing span-trace JSONL (``--from-trace``) or
+    runs the optimizer under a recording tracer right here, then writes
+    the per-expression exclusive recompute weights as JSON for a later
+    ``repro optimize --memo-policy profile --memo-profile PATH`` run.
+    """
+    from repro.cache.costing import CostProfile
+
+    if args.from_trace:
+        try:
+            profile = CostProfile.from_trace_file(args.from_trace, metric=args.metric)
+        except (OSError, ValueError, KeyError) as exc:
+            print(
+                f"cannot build profile from {args.from_trace!r}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        source = args.from_trace
+    else:
+        query = _build_query(args)
+        tracer = RecordingTracer()
+        optimizer = make_optimizer(
+            args.algorithm, query, metrics=Metrics(), tracer=tracer
+        )
+        optimizer.optimize()
+        profile = CostProfile.from_tracer(tracer, metric=args.metric)
+        source = f"{args.algorithm} on {query.describe()}"
+    try:
+        profile.save(args.out)
+    except OSError as exc:
+        print(f"cannot write profile to {args.out!r}: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"profile: {len(profile)} expressions ({args.metric} metric) "
+        f"from {source} -> {args.out}"
+    )
     return 0
 
 
@@ -267,6 +347,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--worker-trace-dir", metavar="DIR",
         help="write one span-trace JSONL per worker into DIR",
     )
+    optimize.add_argument(
+        "--memo-policy", choices=["lru", "smallest", "cost", "profile"],
+        help="eviction policy for a capacity-bounded memo "
+             "(equivalent to a %%policy algorithm suffix)",
+    )
+    optimize.add_argument(
+        "--memo-capacity", type=int, metavar="CELLS",
+        help="bound the memo to CELLS populated cells (Section 5.1)",
+    )
+    optimize.add_argument(
+        "--memo-cold-capacity", type=int, metavar="CELLS",
+        help="keep up to CELLS evicted cells in a compact cold tier "
+             "(demotion instead of loss)",
+    )
+    optimize.add_argument(
+        "--memo-profile", metavar="PATH",
+        help="offline recompute weights from 'repro profile-memo' "
+             "(used by --memo-policy profile)",
+    )
 
     trace = sub.add_parser(
         "trace", help="optimize under a recording tracer, print the recursion tree"
@@ -285,6 +384,34 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--max-depth", type=int, default=None,
         help="truncate the printed tree below this depth",
+    )
+
+    profile_memo = sub.add_parser(
+        "profile-memo",
+        help="distill a traced run into per-expression memo recompute weights",
+    )
+    profile_memo.add_argument("--algorithm", default="TBNmc")
+    profile_memo.add_argument(
+        "--topology",
+        default="star",
+        choices=["chain", "star", "cycle", "clique", "wheel",
+                 "random-acyclic", "random-cyclic"],
+    )
+    profile_memo.add_argument("--n", type=int, default=8)
+    profile_memo.add_argument("--seed", type=int, default=42)
+    profile_memo.add_argument("--query", help="textual query DSL (overrides --topology)")
+    profile_memo.add_argument(
+        "--from-trace", metavar="PATH",
+        help="build from an existing span-trace JSONL instead of running",
+    )
+    profile_memo.add_argument(
+        "--metric", default="work", choices=["work", "time"],
+        help="weight metric: exclusive operation counters (deterministic, "
+             "default) or exclusive wall microseconds",
+    )
+    profile_memo.add_argument(
+        "--out", required=True, metavar="PATH",
+        help="where to write the profile JSON",
     )
 
     run = sub.add_parser("run", help="optimize and execute on synthetic data")
@@ -316,6 +443,7 @@ def main(argv: list[str] | None = None) -> int:
         "list-algorithms": _cmd_list_algorithms,
         "optimize": _cmd_optimize,
         "trace": _cmd_trace,
+        "profile-memo": _cmd_profile_memo,
         "run": _cmd_run,
         "experiment": _cmd_experiment,
     }

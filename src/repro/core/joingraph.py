@@ -14,7 +14,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
 
-from repro.core.bitset import bit, iter_bits, mask_of, popcount
+from repro.core.bitset import bit, mask_of, popcount
 
 
 @dataclass(frozen=True, order=True)
@@ -54,7 +54,8 @@ class JoinGraph:
         The normalized, deduplicated edge list in sorted order.
     """
 
-    __slots__ = ("n", "all_vertices", "neighbors", "edges", "_edge_set")
+    __slots__ = ("n", "all_vertices", "neighbors", "edges", "_edge_set",
+                 "_nbr_union_cache")
 
     def __init__(self, n: int, edges: Sequence[Edge | tuple[int, int]]) -> None:
         if n <= 0:
@@ -74,6 +75,10 @@ class JoinGraph:
         self.neighbors = adjacency
         self.edges = tuple(normalized)
         self._edge_set = frozenset(normalized)
+        # subset -> union of its adjacency bitmaps (before clipping); the
+        # partition strategies recompute neighbourhoods of the same subsets
+        # throughout the search, so memoizing the union pays for itself.
+        self._nbr_union_cache: dict[int, int] = {}
 
     # -- construction helpers -------------------------------------------------
 
@@ -116,10 +121,20 @@ class JoinGraph:
         With ``within`` given, the neighbourhood is computed in the induced
         subgraph ``G|_within`` (both ``subset`` and the result are clipped).
         """
-        result = 0
-        for v in iter_bits(subset):
-            result |= self.neighbors[v]
-        result &= ~subset
+        cache = self._nbr_union_cache
+        union = cache.get(subset)
+        if union is None:
+            union = 0
+            neighbors = self.neighbors
+            bits = subset
+            while bits:
+                low = bits & -bits
+                union |= neighbors[low.bit_length() - 1]
+                bits ^= low
+            if len(cache) >= 1 << 16:
+                cache.clear()
+            cache[subset] = union
+        result = union & ~subset
         if within is not None:
             result &= within
         return result
@@ -136,9 +151,13 @@ class JoinGraph:
 
     def connects(self, left: int, right: int) -> bool:
         """Return True iff some edge joins the disjoint sets ``left``/``right``."""
-        for v in iter_bits(left):
-            if self.neighbors[v] & right:
+        neighbors = self.neighbors
+        bits = left
+        while bits:
+            low = bits & -bits
+            if neighbors[low.bit_length() - 1] & right:
                 return True
+            bits ^= low
         return False
 
     # -- connectivity ----------------------------------------------------------
@@ -150,12 +169,19 @@ class JoinGraph:
         bitmap frontier expansion: each round unions the adjacency bitmaps of
         newly reached vertices, so the loop runs at most ``|subset|`` times.
         """
+        # Connectivity probes dominate the naive strategies' runtime
+        # (Section 4.1), so the inner loop is a hand-rolled lowest-bit
+        # walk over local bindings rather than an iter_bits generator.
+        neighbors = self.neighbors
         reached = start
         frontier = start
         while frontier:
             expansion = 0
-            for v in iter_bits(frontier):
-                expansion |= self.neighbors[v]
+            bits = frontier
+            while bits:
+                low = bits & -bits
+                expansion |= neighbors[low.bit_length() - 1]
+                bits ^= low
             frontier = expansion & subset & ~reached
             reached |= frontier
         return reached
@@ -177,10 +203,11 @@ class JoinGraph:
         if subset is None:
             subset = self.all_vertices
         components = []
+        reachable_from = self.reachable_from
         remaining = subset
         while remaining:
             start = remaining & -remaining
-            component = self.reachable_from(start, remaining)
+            component = reachable_from(start, remaining)
             components.append(component)
             remaining &= ~component
         return components

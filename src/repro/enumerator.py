@@ -134,6 +134,11 @@ class TopDownEnumerator:
             self._h_partitions = None
             self._h_join_gap = None
         self._last_join_at: float | None = None
+        # Exclusive per-expression compute clock: only worth its clock()
+        # calls when tracing is already paying for spans AND the memo's
+        # eviction policy can refine its recompute weights with it.
+        self._measure_compute = self._tracing and self.memo.wants_compute_seconds
+        self._compute_stack: list[float] = []
 
     @property
     def space(self):
@@ -226,8 +231,13 @@ class TopDownEnumerator:
                     self.tracer.memo_hit(subset, order)
                 return plan
         is_scan = subset & (subset - 1) == 0
+        compute_seconds = None
         if self._tracing:
             plan = None
+            measure = self._measure_compute
+            if measure:
+                self._compute_stack.append(0.0)
+                started = clock()
             self.tracer.begin(
                 subset,
                 order,
@@ -241,12 +251,16 @@ class TopDownEnumerator:
                     plan = self._calc_best_join(subset, order, seed)
             finally:
                 self.tracer.end(cost=None if plan is None else plan.cost)
+                if measure:
+                    compute_seconds = self._finish_compute_span(started)
         elif is_scan:
             plan = self._calc_best_scan(subset, order)
         else:
             plan = self._calc_best_join(subset, order, seed)
         if plan is not None:
-            self.memo.store_plan(self.query, subset, order, plan)
+            self.memo.store_plan(
+                self.query, subset, order, plan, compute_seconds=compute_seconds
+            )
         return plan
 
     def _calc_best_scan(self, subset: int, order: int | None) -> Plan | None:
@@ -318,6 +332,22 @@ class TopDownEnumerator:
             self._h_partitions.observe(partitions_seen)
         return best
 
+    def _finish_compute_span(self, started: float) -> float:
+        """Close one exclusive-compute measurement frame.
+
+        Returns the time this expression spent computing *excluding* its
+        recursive child computations (their inclusive times accumulated in
+        this frame's stack slot), and charges the full inclusive time to
+        the parent frame, if any.  Exclusive time is what recomputing the
+        cell would cost when its children are still memoized — exactly the
+        weight a cost-aware eviction policy needs.
+        """
+        inclusive = clock() - started
+        child_total = self._compute_stack.pop()
+        if self._compute_stack:
+            self._compute_stack[-1] += inclusive
+        return max(0.0, inclusive - child_total)
+
     def _note_join_costed(self) -> None:
         """Feed the time-between-joins histogram (microseconds).
 
@@ -374,8 +404,13 @@ class TopDownEnumerator:
                     self.tracer.memo_bound_hit(subset, order)
                 return None
         is_scan = subset & (subset - 1) == 0
+        compute_seconds = None
         if self._tracing:
             plan = None
+            measure = self._measure_compute
+            if measure:
+                self._compute_stack.append(0.0)
+                started = clock()
             self.tracer.begin(
                 subset,
                 order,
@@ -393,6 +428,8 @@ class TopDownEnumerator:
                     cost=None if plan is None else plan.cost,
                     failed=plan is None,
                 )
+                if measure:
+                    compute_seconds = self._finish_compute_span(started)
         elif is_scan:
             plan = self._calc_best_scan_budgeted(subset, order, budget)
         else:
@@ -400,9 +437,14 @@ class TopDownEnumerator:
         if plan is None:
             metrics.budget_failures += 1
             if budget < INFINITY:
-                self.memo.store_lower_bound(self.query, subset, order, budget)
+                self.memo.store_lower_bound(
+                    self.query, subset, order, budget,
+                    compute_seconds=compute_seconds,
+                )
         else:
-            self.memo.store_plan(self.query, subset, order, plan)
+            self.memo.store_plan(
+                self.query, subset, order, plan, compute_seconds=compute_seconds
+            )
         return plan
 
     def _calc_best_scan_budgeted(

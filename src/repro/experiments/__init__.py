@@ -38,7 +38,12 @@ from repro.experiments.bounding import (
     run_fig19_cpu_cyclic_leftdeep,
     run_fig20_cpu_cyclic_bushy,
 )
-from repro.experiments.memory import run_fig21_24_tradeoff, run_fig25_30_by_threshold
+from repro.experiments.memory import (
+    run_fig21_24_tradeoff,
+    run_fig25_30_by_threshold,
+    run_memory_policies,
+    run_shared_cache,
+)
 from repro.experiments.table2 import run_table2
 
 EXPERIMENTS = {
@@ -63,6 +68,8 @@ EXPERIMENTS = {
     "fig20": run_fig20_cpu_cyclic_bushy,
     "fig21-24": run_fig21_24_tradeoff,
     "fig25-30": run_fig25_30_by_threshold,
+    "memory-policies": run_memory_policies,
+    "shared-cache": run_shared_cache,
     "table2": run_table2,
 }
 

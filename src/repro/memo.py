@@ -4,15 +4,24 @@ Section 5.1 observes that top-down partitioning search uses the memo as a
 *cache* rather than a table of guaranteed reads: bottom-up dynamic
 programming fails if an entry disappears, whereas partitioning search
 simply recomputes it.  :class:`MemoTable` therefore supports an optional
-cell capacity with LRU eviction (the CPU/storage trade-off experiments of
-Figures 21–30), and :class:`GlobalPlanCache` keys entries by canonical
-logical expression so plans survive across queries (the ``Q1``/``Q2``
-example of Section 5.1).
+cell capacity (the CPU/storage trade-off experiments of Figures 21–30)
+with pluggable eviction from :mod:`repro.cache.policies` — the paper's
+``lru`` and ``smallest`` baselines plus the cost-aware ``cost`` and
+``profile`` policies driven by per-cell recompute weights
+(:mod:`repro.cache.costing`).  Two further tiers soften capacity misses:
+an optional *cold tier* (``cold_capacity``) keeps evicted cells in
+compact wire format so eviction is a demotion rather than a loss, and an
+optional *shared* :class:`GlobalPlanCache` is consulted read-through (and
+populated write-through) so plans survive across queries (the
+``Q1``/``Q2`` example of Section 5.1).
 
 A populated cell stores either an optimal :class:`~repro.plans.physical.Plan`
 or — for accumulated-cost bounding (Algorithm 7) — a *lower bound*: the
 largest budget that already failed for the expression, letting future
 invocations return failure immediately when their budget is no larger.
+Lower-bound-only cells are deliberately **not** recency-refreshed on
+lookup: a bound is budget-relative scratch state, and letting it displace
+full plans in the LRU order makes bounded runs strictly worse.
 """
 
 from __future__ import annotations
@@ -22,6 +31,10 @@ from dataclasses import dataclass
 from typing import Hashable, Optional
 
 from repro.analysis.metrics import Metrics
+from repro.cache.coldtier import ColdTier
+from repro.cache.costing import CostProfile, logical_cost_proxy
+from repro.cache.policies import POLICY_NAMES, make_policy
+from repro.cache.stats import CacheStats
 from repro.catalog.query import Query
 from repro.plans.physical import Plan
 
@@ -47,37 +60,91 @@ class MemoTable:
     Parameters
     ----------
     capacity:
-        Maximum number of populated cells, or ``None`` for unbounded.
+        Maximum number of populated hot cells, or ``None`` for unbounded.
         ``0`` disables storage entirely (every expression is recomputed on
         demand — the "0 %" point of Figure 30).
     metrics:
-        Optional counter sink for evictions and peak occupancy.
+        Optional counter sink for evictions, demotions, tier hits, and
+        peak occupancy.
     policy:
-        Eviction policy when over capacity.  ``"lru"`` (the paper's
-        experiments) evicts the least-recently-used cell; ``"smallest"``
-        implements Section 5.1's suggestion of weighting eviction by the
-        logical description — the smallest expression is evicted first,
-        since small expressions are the cheapest to recompute.
+        Eviction policy when over capacity: ``"lru"`` (the paper's
+        experiments), ``"smallest"`` (Section 5.1's logical-description
+        weighting), ``"cost"`` (GreedyDual over per-cell recompute
+        weights), or ``"profile"`` (GreedyDual over offline weights from
+        a prior run's trace; see :class:`~repro.cache.costing.CostProfile`).
+    cold_capacity:
+        Size of the cold demotion tier (``0`` = no cold tier, ``None`` =
+        unbounded): evicted cells are kept in wire format and promoted
+        back on lookup instead of being recomputed.
+    profile:
+        Optional :class:`~repro.cache.costing.CostProfile` supplying
+        offline recompute weights.  Required in spirit by the
+        ``profile`` policy (which falls back to the logical proxy for
+        unprofiled cells) and consulted by ``cost`` before the proxy.
+    shared:
+        Optional :class:`GlobalPlanCache` consulted read-through on local
+        misses and populated write-through on plan stores, giving
+        cross-query (and cross-enumerator) plan reuse.
     """
 
-    POLICIES = ("lru", "smallest")
+    POLICIES = POLICY_NAMES
 
     def __init__(
         self,
         capacity: int | None = None,
         metrics: Metrics | None = None,
         policy: str = "lru",
+        *,
+        cold_capacity: int | None = 0,
+        profile: CostProfile | None = None,
+        shared: "GlobalPlanCache | None" = None,
     ) -> None:
         if capacity is not None and capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
-        if policy not in self.POLICIES:
-            raise ValueError(f"unknown eviction policy {policy!r}")
         self.capacity = capacity
         self.metrics = metrics
-        self.policy = policy
+        self._policy = make_policy(policy)
+        self._policy.bind(self._weight_of)
+        self.profile = profile
+        self.shared = shared
+        self.stats = CacheStats()
+        if cold_capacity == 0:
+            self._cold: ColdTier | None = None
+        else:
+            self._cold = ColdTier(cold_capacity)
         self._cells: OrderedDict[Hashable, MemoEntry] = OrderedDict()
+        self._weights: dict[Hashable, float] = {}
+        # Per-cell weights are bookkept only when something consumes them:
+        # a weight-driven policy or the cold tier (which reports the
+        # recompute cost a promotion saved).
+        self._track_weights = capacity is not None and capacity > 0 and (
+            self._policy.uses_weights or self._cold is not None
+        )
         self._h_occupancy = None
         self._c_evictions = None
+        self._c_demotions = None
+        self._c_cold_hits = None
+        self._c_shared_hits = None
+
+    @property
+    def policy(self) -> str:
+        """Name of the active eviction policy."""
+        return self._policy.name
+
+    @property
+    def cold_capacity(self) -> int | None:
+        """Cold-tier capacity (``0`` when no cold tier is configured)."""
+        return 0 if self._cold is None else self._cold.capacity
+
+    @property
+    def wants_compute_seconds(self) -> bool:
+        """True iff stores benefit from measured per-cell compute time.
+
+        The enumerator uses this to decide whether to run its exclusive
+        compute clock (only meaningful under tracing): weight-driven
+        policies refine the logical proxy with measured time.
+        """
+        return self._track_weights and self._policy.uses_weights
 
     def attach_registry(self, registry) -> None:
         """Feed occupancy-over-time and eviction telemetry into ``registry``.
@@ -85,31 +152,79 @@ class MemoTable:
         ``registry`` is a :class:`~repro.obs.registry.MetricsRegistry`
         (typed loosely to keep this module import-light).  Every store
         observes the populated-cell count, giving the occupancy series of
-        the Figures 21–30 storage experiments.
+        the Figures 21–30 storage experiments; eviction/demotion/tier-hit
+        counters complete the memory-hierarchy picture.
         """
-        from repro.obs.registry import MEMO_EVICTIONS, MEMO_OCCUPANCY
+        from repro.obs.registry import (
+            MEMO_COLD_HITS,
+            MEMO_DEMOTIONS,
+            MEMO_EVICTIONS,
+            MEMO_OCCUPANCY,
+            MEMO_SHARED_HITS,
+        )
 
         self._h_occupancy = registry.histogram(MEMO_OCCUPANCY)
         self._c_evictions = registry.counter(MEMO_EVICTIONS)
+        self._c_demotions = registry.counter(MEMO_DEMOTIONS)
+        self._c_cold_hits = registry.counter(MEMO_COLD_HITS)
+        self._c_shared_hits = registry.counter(MEMO_SHARED_HITS)
+
+    # -- weights ----------------------------------------------------------------
+
+    def _weight_of(self, key: Hashable) -> float:
+        """Recompute weight of a resident cell (policy callback)."""
+        return self._weights.get(key, 1.0)
+
+    def _weight_for(
+        self,
+        query: Query,
+        subset: int,
+        order: int | None,
+        compute_seconds: float | None,
+    ) -> float:
+        """Resolve the best available recompute weight for one cell.
+
+        ``profile`` policy: profiled weight first (that is the point),
+        then measured time, then the logical proxy.  Other policies:
+        measured time first, then any attached profile, then the proxy.
+        Measured seconds are scaled to microseconds so they land in the
+        same magnitude range as profiled ``time`` weights.
+        """
+        if self._policy.name == "profile" and self.profile is not None:
+            weight = self.profile.lookup(subset, order)
+            if weight is not None:
+                return weight
+        if compute_seconds is not None:
+            return compute_seconds * 1e6
+        if self._policy.name != "profile" and self.profile is not None:
+            weight = self.profile.lookup(subset, order)
+            if weight is not None:
+                return weight
+        return logical_cost_proxy(query, subset, order)
 
     def _evict_one(self) -> None:
-        """Remove one cell according to the eviction policy."""
-        if self.policy == "smallest":
-            victim = min(self._cells, key=self._cell_weight)
-            del self._cells[victim]
-        else:
-            self._cells.popitem(last=False)
+        """Demote (or drop) one cell according to the eviction policy."""
+        victim = self._policy.choose_victim(self._cells)
+        entry = self._cells.pop(victim)
+        self._policy.on_remove(victim)
+        weight = self._weights.pop(victim, 1.0) if self._track_weights else 1.0
+        if self._cold is not None:
+            self._cold.put(
+                victim,
+                None if entry.plan is None else entry.plan.to_wire(),
+                entry.lower_bound,
+                weight,
+            )
+            self.stats.demotions += 1
+            if self.metrics is not None:
+                self.metrics.memo_demotions += 1
+            if self._c_demotions is not None:
+                self._c_demotions.inc()
+        self.stats.evictions += 1
         if self.metrics is not None:
             self.metrics.memo_evictions += 1
         if self._c_evictions is not None:
             self._c_evictions.inc()
-
-    @staticmethod
-    def _cell_weight(key: Hashable) -> tuple:
-        """Recomputation-cost proxy for the ``smallest`` policy."""
-        if isinstance(key, tuple) and key and isinstance(key[0], int):
-            return (key[0].bit_count(), key[0])
-        return (0, 0)
 
     # -- keying (overridden by GlobalPlanCache) --------------------------------
 
@@ -124,49 +239,138 @@ class MemoTable:
     # -- access ------------------------------------------------------------------
 
     def get(self, query: Query, subset: int, order: int | None) -> Optional[MemoEntry]:
-        """Look up a cell, refreshing its LRU position."""
+        """Look up a cell through every tier: hot, cold, shared.
+
+        A hot *plan* cell refreshes its policy position (recency/score);
+        lower-bound-only cells do not, so budget scratch state cannot
+        displace full plans.  A cold hit promotes the demoted entry back
+        into the hot tier; a shared hit relabels the cross-query plan
+        into this query's numbering and caches it locally.
+        """
         key = self.key_for(query, subset, order)
         entry = self._cells.get(key)
-        if entry is not None and self.capacity is not None:
-            self._cells.move_to_end(key)
-        return entry
+        if entry is not None:
+            self.stats.hits += 1
+            if self.capacity is not None and entry.has_plan:
+                self._policy.touch(self._cells, key)
+            return entry
+        if self._cold is not None:
+            demoted = self._cold.take(key)
+            if demoted is not None:
+                entry = MemoEntry(
+                    plan=None
+                    if demoted.plan_wire is None
+                    else Plan.from_wire(demoted.plan_wire),
+                    lower_bound=demoted.lower_bound,
+                )
+                self.stats.cold_hits += 1
+                self.stats.recompute_cost_saved += demoted.weight
+                if self.metrics is not None:
+                    self.metrics.memo_cold_hits += 1
+                if self._c_cold_hits is not None:
+                    self._c_cold_hits.inc()
+                self._store(key, entry, weight=demoted.weight)
+                return entry
+        if self.shared is not None and self.shared is not self:
+            shared_entry = self.shared.get(query, subset, order)
+            if shared_entry is not None and shared_entry.has_plan:
+                plan = self.shared.plan_for_query(query, shared_entry)
+                if plan is not None:
+                    entry = MemoEntry(plan=plan)
+                    self.stats.shared_hits += 1
+                    weight = None
+                    if self._track_weights:
+                        weight = self._weight_for(query, subset, order, None)
+                        self.stats.recompute_cost_saved += weight
+                    else:
+                        self.stats.recompute_cost_saved += logical_cost_proxy(
+                            query, subset, order
+                        )
+                    if self.metrics is not None:
+                        self.metrics.memo_shared_hits += 1
+                    if self._c_shared_hits is not None:
+                        self._c_shared_hits.inc()
+                    self._store(key, entry, weight=weight)
+                    return entry
+        self.stats.misses += 1
+        return None
+
+    def peek(self, query: Query, subset: int, order: int | None) -> Optional[MemoEntry]:
+        """Hot-tier-only lookup: no promotion, no recency, no stats."""
+        return self._cells.get(self.key_for(query, subset, order))
 
     def store_plan(
-        self, query: Query, subset: int, order: int | None, plan: Plan
+        self,
+        query: Query,
+        subset: int,
+        order: int | None,
+        plan: Plan,
+        *,
+        compute_seconds: float | None = None,
     ) -> None:
-        """Store an optimal plan, evicting LRU cells if over capacity."""
-        self._store(self.key_for(query, subset, order), MemoEntry(plan=plan))
+        """Store an optimal plan, evicting/demoting cells if over capacity.
+
+        ``compute_seconds`` optionally carries the measured exclusive
+        time the enumerator spent producing the plan; weight-driven
+        policies prefer it over the logical proxy.
+        """
+        key = self.key_for(query, subset, order)
+        weight = None
+        if self._track_weights:
+            weight = self._weight_for(query, subset, order, compute_seconds)
+        self._store(key, MemoEntry(plan=plan), weight=weight)
+        if self.shared is not None and self.shared is not self:
+            self.shared.store_plan(query, subset, order, plan)
 
     def store_lower_bound(
-        self, query: Query, subset: int, order: int | None, bound: float
+        self,
+        query: Query,
+        subset: int,
+        order: int | None,
+        bound: float,
+        *,
+        compute_seconds: float | None = None,
     ) -> None:
         """Record that no plan with cost <= ``bound`` exists (Algorithm 7).
 
         Keeps the largest failed budget if a bound is already present.
+        Bounds are query-local scratch state and are never written
+        through to a shared cache.
         """
         key = self.key_for(query, subset, order)
         existing = self._cells.get(key)
         if existing is not None and existing.lower_bound is not None:
             bound = max(bound, existing.lower_bound)
-        self._store(key, MemoEntry(lower_bound=bound))
+        weight = None
+        if self._track_weights:
+            weight = self._weight_for(query, subset, order, compute_seconds)
+        self._store(key, MemoEntry(lower_bound=bound), weight=weight)
 
-    def _store(self, key: Hashable, entry: MemoEntry) -> None:
+    def _store(
+        self, key: Hashable, entry: MemoEntry, weight: float | None = None
+    ) -> None:
         if self.capacity == 0:
             return
-        if key in self._cells:
-            self._cells[key] = entry
-            if self.capacity is not None:
-                self._cells.move_to_end(key)
+        cells = self._cells
+        bounded = self.capacity is not None
+        if self._track_weights:
+            self._weights[key] = 1.0 if weight is None else weight
+        if key in cells:
+            cells[key] = entry
+            if bounded:
+                self._policy.on_store(cells, key)
         else:
-            if self.capacity is not None and len(self._cells) >= self.capacity:
+            if bounded and len(cells) >= self.capacity:
                 self._evict_one()
-            self._cells[key] = entry
+            cells[key] = entry
+            if bounded:
+                self._policy.on_store(cells, key)
         if self.metrics is not None:
             self.metrics.peak_memo_cells = max(
-                self.metrics.peak_memo_cells, len(self._cells)
+                self.metrics.peak_memo_cells, len(cells)
             )
         if self._h_occupancy is not None:
-            self._h_occupancy.observe(len(self._cells))
+            self._h_occupancy.observe(len(cells))
 
     # -- cross-process export/import (repro.parallel) ---------------------------
 
@@ -215,11 +419,12 @@ class MemoTable:
         (first import wins — under exhaustive search all candidates are
         bit-identical anyway); lower bounds never displace plans and keep
         the max of the failed budgets.  Returns the number of entries that
-        changed the table.
+        changed the table.  Only the hot tier is consulted for conflicts —
+        an import must not trigger cold promotions or shared read-through.
         """
         imported = 0
         for subset, order, plan_wire, lower_bound in entries:
-            existing = self.get(query, subset, order)
+            existing = self.peek(query, subset, order)
             if plan_wire is not None:
                 if existing is not None and existing.has_plan:
                     continue
@@ -238,7 +443,7 @@ class MemoTable:
         return len(self._cells)
 
     def populated_cells(self) -> int:
-        """Cells currently storing a plan or a lower bound."""
+        """Cells currently storing a plan or a lower bound (hot tier)."""
         return len(self._cells)
 
     def plan_cells(self) -> int:
@@ -249,9 +454,34 @@ class MemoTable:
         """Cells currently storing only a lower bound."""
         return sum(1 for e in self._cells.values() if not e.has_plan)
 
+    def cold_cells(self) -> int:
+        """Entries currently resident in the cold tier."""
+        return 0 if self._cold is None else len(self._cold)
+
+    def summary(self) -> dict:
+        """The ``memo`` block of ``repro optimize --json``."""
+        result = {
+            "policy": self.policy,
+            "capacity": self.capacity,
+            "cold_capacity": self.cold_capacity,
+            "occupancy": len(self._cells),
+            "plan_cells": self.plan_cells(),
+            "bound_cells": self.bound_cells(),
+            "cold_cells": self.cold_cells(),
+            "shared": self.shared is not None,
+        }
+        result.update(self.stats.to_dict())
+        if self._cold is not None:
+            result["cold_evictions"] = self._cold.evictions
+        return result
+
     def clear(self) -> None:
-        """Drop every cell."""
+        """Drop every cell (all tiers) and all policy state."""
         self._cells.clear()
+        self._weights.clear()
+        self._policy.reset()
+        if self._cold is not None:
+            self._cold.clear()
 
 
 def canonical_expression_key(
@@ -288,13 +518,33 @@ class GlobalPlanCache(MemoTable):
     that produced them; on retrieval by a different query, the plan is
     relabelled into the reader's vertex numbering.  Top-down partitioning
     search tolerates missing or evicted cells, so the cache can use any
-    eviction policy (here: the same LRU as :class:`MemoTable`).
+    eviction policy — including the cost-aware ones, whose weights are
+    computed from the *writing* query's statistics.
+
+    Beyond serving directly as an enumerator's memo, the cache acts as
+    the read-through/write-through backing tier of per-query
+    :class:`MemoTable`\\ s (their ``shared=`` parameter) and seeds
+    parallel workers: :meth:`export_for_query` relabels every applicable
+    plan into one query's ``(subset, order)`` wire entries, and
+    :meth:`absorb_memo` folds a finished query's memo back in.
     """
 
     def __init__(
-        self, capacity: int | None = None, metrics: Metrics | None = None
+        self,
+        capacity: int | None = None,
+        metrics: Metrics | None = None,
+        policy: str = "lru",
+        *,
+        cold_capacity: int | None = 0,
+        profile: CostProfile | None = None,
     ) -> None:
-        super().__init__(capacity=capacity, metrics=metrics)
+        super().__init__(
+            capacity=capacity,
+            metrics=metrics,
+            policy=policy,
+            cold_capacity=cold_capacity,
+            profile=profile,
+        )
         self._name_maps: dict[Hashable, dict[str, int]] = {}
 
     def key_for(self, query: Query, subset: int, order: int | None) -> Hashable:
@@ -305,19 +555,28 @@ class GlobalPlanCache(MemoTable):
         """Cross-query cells are not ``(subset, order)``-keyed; refuse export."""
         raise TypeError(
             "GlobalPlanCache entries are keyed by canonical expression and "
-            "cannot be exported in the per-query wire format; use a plain "
-            "MemoTable for parallel workers"
+            "cannot be exported in the per-query wire format; use "
+            "export_for_query(query) to project them onto one query"
         )
 
     def store_plan(
-        self, query: Query, subset: int, order: int | None, plan: Plan
+        self,
+        query: Query,
+        subset: int,
+        order: int | None,
+        plan: Plan,
+        *,
+        compute_seconds: float | None = None,
     ) -> None:
         """Store a plan along with the writer's name -> vertex mapping."""
         key = self.key_for(query, subset, order)
         self._name_maps[key] = {
             query.relations[v].name: v for v in range(query.n) if subset >> v & 1
         }
-        self._store(key, MemoEntry(plan=plan))
+        weight = None
+        if self._track_weights:
+            weight = self._weight_for(query, subset, order, compute_seconds)
+        self._store(key, MemoEntry(plan=plan), weight=weight)
 
     def plan_for_query(self, query: Query, entry: MemoEntry) -> Optional[Plan]:
         """Relabel the stored plan into the reading query's numbering."""
@@ -339,3 +598,64 @@ class GlobalPlanCache(MemoTable):
             return entry.plan.relabel(mapping)
         except KeyError:
             return None
+
+    # -- cross-query projection (repro.parallel seeding) ------------------------
+
+    def export_for_query(
+        self, query: Query
+    ) -> list[tuple[int, Optional[int], Optional[tuple], Optional[float]]]:
+        """Project every applicable plan onto ``query``'s wire format.
+
+        A cached plan applies iff all its relations exist in ``query``
+        *and* the canonical key recomputed from the reader's side matches
+        the cell's key — the latter guards against same-named relations
+        with different statistics or predicates (a plan optimal under old
+        stats must not leak into a query with new ones).  The result is
+        sorted by ``(subset, order)`` so downstream seeding/merging is
+        deterministic regardless of cache insertion history.
+        """
+        name_to_vertex = {query.relations[v].name: v for v in range(query.n)}
+        entries = []
+        for key, entry in self._cells.items():
+            if not entry.has_plan:
+                continue
+            plan = self.plan_for_query(query, entry)
+            if plan is None:
+                continue
+            order_name = key[2]
+            if order_name is None:
+                order = None
+            else:
+                order = name_to_vertex.get(order_name)
+                if order is None:
+                    continue
+            if canonical_expression_key(query, plan.vertices, order) != key:
+                continue
+            entries.append((plan.vertices, order, plan.to_wire(), None))
+        entries.sort(key=lambda e: (e[0], e[1] is not None, e[1] or 0))
+        return entries
+
+    def absorb_memo(self, query: Query, memo: MemoTable) -> int:
+        """Fold a finished query's per-query memo into this cache.
+
+        Imports plan cells only (lower bounds are budget-relative scratch
+        state); existing cells are left alone, matching the deterministic
+        first-plan-wins conflict policy of :meth:`MemoTable.import_entries`.
+        Returns the number of plans added.
+        """
+        if isinstance(memo, GlobalPlanCache):
+            raise TypeError("absorb_memo expects a per-query (subset, order) memo")
+        added = 0
+        for key in memo.keys():
+            subset, order = key
+            entry = memo.peek(query, subset, order)
+            if entry is None or not entry.has_plan:
+                continue
+            plan = memo.plan_for_query(query, entry)
+            if plan is None:
+                continue
+            if self.peek(query, subset, order) is not None:
+                continue
+            self.store_plan(query, subset, order, plan)
+            added += 1
+        return added

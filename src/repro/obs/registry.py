@@ -26,6 +26,9 @@ __all__ = [
     "TIME_BETWEEN_JOINS",
     "MEMO_OCCUPANCY",
     "MEMO_EVICTIONS",
+    "MEMO_DEMOTIONS",
+    "MEMO_COLD_HITS",
+    "MEMO_SHARED_HITS",
 ]
 
 #: Well-known instrument names used by the built-in instrumentation.
@@ -33,6 +36,9 @@ PARTITIONS_PER_EXPRESSION = "partitions_per_expression"
 TIME_BETWEEN_JOINS = "time_between_joins_us"
 MEMO_OCCUPANCY = "memo_occupancy"
 MEMO_EVICTIONS = "memo_evictions"
+MEMO_DEMOTIONS = "memo_demotions"
+MEMO_COLD_HITS = "memo_cold_hits"
+MEMO_SHARED_HITS = "memo_shared_hits"
 
 
 class Counter:

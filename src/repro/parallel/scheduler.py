@@ -45,7 +45,7 @@ from repro.analysis.metrics import Metrics
 from repro.catalog.query import Query
 from repro.cost.io_model import CostModel
 from repro.enumerator import Bounding
-from repro.memo import MemoTable
+from repro.memo import GlobalPlanCache, MemoTable
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import Tracer
 from repro.plans.physical import Plan
@@ -117,6 +117,7 @@ class ParallelEnumerator:
         registry: MetricsRegistry | None = None,
         trace_dir: str | None = None,
         start_method: str | None = None,
+        global_cache: GlobalPlanCache | None = None,
     ) -> None:
         from repro.registry import parse_name, resolve_alias
 
@@ -142,7 +143,14 @@ class ParallelEnumerator:
         self._spec = spec
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.metrics = metrics if metrics is not None else Metrics()
-        self.memo = memo if memo is not None else MemoTable(metrics=self.metrics)
+        self.global_cache = global_cache
+        if memo is None:
+            # Driver memo writes through to the cross-query cache, so
+            # every plan merged from workers lands there automatically.
+            memo = MemoTable(metrics=self.metrics, shared=global_cache)
+        elif global_cache is not None and memo.shared is None:
+            memo.shared = global_cache
+        self.memo = memo
         self.tracer = tracer
         self.registry = registry
         self.trace_dir = trace_dir
@@ -188,6 +196,11 @@ class ParallelEnumerator:
     # -- policies -------------------------------------------------------------
 
     def _pool(self, policy: str, shared_bound: SharedBound | None) -> WorkerPool:
+        seed = None
+        if self.global_cache is not None:
+            # Plans earlier queries already optimized, projected into this
+            # query's numbering — every worker starts with them memoized.
+            seed = self.global_cache.export_for_query(self.query)
         return WorkerPool(
             self.query,
             self.algorithm,
@@ -198,6 +211,7 @@ class ParallelEnumerator:
             shared_bound=shared_bound,
             trace_dir=self.trace_dir,
             start_method=self.start_method,
+            seed=seed,
         )
 
     def _run_level(self) -> None:

@@ -9,7 +9,10 @@ request/reply protocol, so task→worker assignment is fully deterministic —
 worker ``i`` always receives shard ``i`` — which is what makes merged
 results reproducible run-to-run.
 
-Per round, a worker
+At init a worker optionally absorbs a *seed* — wire entries projected
+from a cross-query :class:`~repro.memo.GlobalPlanCache` (Section 5.1's
+``Q1``/``Q2`` reuse) — so plans already optimized by earlier queries in a
+workload batch are never recomputed, in any process.  Per round, a worker
 
 1. absorbs memo entries computed by *other* workers in earlier rounds
    (compact wire tuples, see :meth:`~repro.memo.MemoTable.export_entries`),
@@ -108,6 +111,11 @@ class _WorkerState:
             self.enumerator.bounding &= ~Bounding.ACCUMULATED
             self.accumulated = False
         self._sent_keys: set = set()
+        seed = init.get("seed") or ()
+        if seed:
+            self.enumerator.memo.import_entries(self.query, seed)
+            # The driver already has these; never ship them back.
+            self._sent_keys.update((subset, order) for subset, order, _, _ in seed)
 
     def _budget(self) -> Optional[float]:
         if not (self.accumulated and self.shared_bound is not None):
@@ -203,6 +211,7 @@ class WorkerPool:
         shared_bound=None,
         trace_dir: str | None = None,
         start_method: str | None = None,
+        seed: list | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
@@ -238,6 +247,7 @@ class WorkerPool:
             "cost_model": cost_model,
             "policy": policy,
             "want_registry": want_registry,
+            "seed": list(seed) if seed else [],
         }
         for index, conn in enumerate(self._connections):
             conn.send(("init", {**init, "trace_path": trace_paths[index]}))

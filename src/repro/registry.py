@@ -21,6 +21,14 @@ to the Table 1 names; see :data:`ALGORITHM_ALIASES`.
 A trailing ``@N`` requests parallel execution with ``N`` worker
 processes (top-down algorithms only): ``TBNmc@4``, ``mincutlazy@2``,
 ``TLNmcAP@8``.  The ``parallel`` alias is shorthand for ``TBNmc@4``.
+
+A trailing ``%policy[:capacity[:cold]]`` requests a capacity-bounded
+memo with the named eviction policy (Section 5.1 / Figures 21–30):
+``TBNmc%lru:64`` bounds the memo to 64 cells with LRU eviction,
+``TBNmc%cost:64:128`` adds a 128-entry cold demotion tier under the
+cost-aware GreedyDual policy.  Policies: ``lru``, ``smallest``,
+``cost``, ``profile``.  Both suffixes compose in either order
+(``TBNmc%cost:64@2`` ≡ ``TBNmc@2%cost:64``).
 """
 
 from __future__ import annotations
@@ -33,8 +41,10 @@ from repro.analysis.metrics import Metrics
 from repro.bottomup import DPccp, DPsize, DPsub
 from repro.catalog.query import Query
 from repro.cost.io_model import CostModel
+from repro.cache.costing import CostProfile
+from repro.cache.policies import POLICY_NAMES
 from repro.enumerator import Bounding, TopDownEnumerator
-from repro.memo import MemoTable
+from repro.memo import GlobalPlanCache, MemoTable
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import Tracer
 from repro.partition import (
@@ -52,11 +62,13 @@ from repro.spaces import PlanSpace
 __all__ = [
     "AlgorithmSpec",
     "ALGORITHM_ALIASES",
+    "MemoSpec",
     "available_algorithms",
     "make_optimizer",
     "optimize",
     "parse_name",
     "resolve_alias",
+    "split_memo_policy",
     "split_workers",
 ]
 
@@ -126,6 +138,57 @@ class AlgorithmSpec:
         return self.style in {"mc", "ccp"}
 
 
+@dataclass(frozen=True)
+class MemoSpec:
+    """Parsed ``%policy[:capacity[:cold]]`` memo-bounding suffix."""
+
+    policy: str
+    capacity: int | None = None
+    cold_capacity: int | None = 0
+
+
+def split_memo_policy(name: str) -> tuple[str, MemoSpec | None]:
+    """Split a ``base%policy[:capacity[:cold]]`` name into ``(base, spec)``.
+
+    Composes with the ``@N`` worker suffix in either order: a worker
+    count trailing the memo spec (``TBNmc%cost:64@2``) is reattached to
+    the returned base name.  Names without ``%`` return ``(name, None)``.
+    """
+    base, sep, tail = name.partition("%")
+    if not sep:
+        return name, None
+    tail, at, workers = tail.partition("@")
+    if at:
+        base = f"{base}@{workers}"
+    parts = tail.split(":")
+    policy = parts[0].lower()
+    if policy not in POLICY_NAMES:
+        raise ValueError(
+            f"unknown memo policy in algorithm name {name!r}; "
+            f"use one of {POLICY_NAMES}"
+        )
+    if len(parts) > 3:
+        raise ValueError(
+            f"malformed memo suffix in {name!r}; "
+            "expected %policy[:capacity[:cold]]"
+        )
+
+    def _cap(token: str, what: str) -> int:
+        try:
+            value = int(token)
+        except ValueError:
+            value = -1
+        if value < 0:
+            raise ValueError(
+                f"invalid memo {what} in algorithm name {name!r}: {token!r}"
+            )
+        return value
+
+    capacity = _cap(parts[1], "capacity") if len(parts) > 1 else None
+    cold = _cap(parts[2], "cold capacity") if len(parts) > 2 else 0
+    return base, MemoSpec(policy=policy, capacity=capacity, cold_capacity=cold)
+
+
 def split_workers(name: str) -> tuple[str, int | None]:
     """Split a ``base@N`` algorithm name into ``(base, N)``.
 
@@ -153,8 +216,11 @@ def resolve_alias(name: str) -> str:
     An optional ``A``/``P``/``AP`` bounding suffix (separated or not) is
     preserved: ``mincutlazy-AP`` resolves to ``TBNmcAP``.  A ``@N``
     worker-count suffix is preserved too, and overrides any count the
-    alias itself carries (``parallel@2`` resolves to ``TBNmc@2``).
+    alias itself carries (``parallel@2`` resolves to ``TBNmc@2``); a
+    ``%policy`` memo suffix is carried along unchanged
+    (``mincutlazy%cost:64`` resolves to ``TBNmc%cost:64``).
     """
+    name, memo_spec = split_memo_policy(name)
     base, workers = split_workers(name)
     normalized = base.lower().replace("-", "").replace("_", "")
     resolved = base
@@ -169,18 +235,26 @@ def resolve_alias(name: str) -> str:
     resolved_base, resolved_workers = split_workers(resolved)
     if workers is not None:
         resolved_workers = workers
-    if resolved_workers is None:
-        return resolved_base
-    return f"{resolved_base}@{resolved_workers}"
+    if resolved_workers is not None:
+        resolved_base = f"{resolved_base}@{resolved_workers}"
+    if memo_spec is not None:
+        suffix = f"%{memo_spec.policy}"
+        if memo_spec.capacity is not None:
+            suffix += f":{memo_spec.capacity}"
+            if memo_spec.cold_capacity:
+                suffix += f":{memo_spec.cold_capacity}"
+        resolved_base += suffix
+    return resolved_base
 
 
 def parse_name(name: str) -> AlgorithmSpec:
     """Parse a Table 1 style algorithm name (or a friendly alias).
 
-    A ``@N`` worker-count suffix is accepted and ignored: the spec
-    describes the underlying serial algorithm.
+    ``@N`` worker-count and ``%policy`` memo suffixes are accepted and
+    ignored: the spec describes the underlying serial algorithm.
     """
-    base, _workers = split_workers(resolve_alias(name))
+    base, _memo_spec = split_memo_policy(resolve_alias(name))
+    base, _workers = split_workers(base)
     match = _NAME_PATTERN.match(base)
     if match is None:
         raise ValueError(
@@ -259,6 +333,11 @@ def make_optimizer(
     parallel_policy: str = "auto",
     worker_trace_dir: str | None = None,
     start_method: str | None = None,
+    memo_policy: str | None = None,
+    memo_capacity: int | None = None,
+    memo_cold_capacity: int | None = None,
+    memo_profile: CostProfile | None = None,
+    global_cache: GlobalPlanCache | None = None,
 ):
     """Instantiate the named algorithm over ``query``.
 
@@ -274,11 +353,53 @@ def make_optimizer(
     argument wins when both are present.  ``parallel_policy``,
     ``worker_trace_dir``, and ``start_method`` configure the parallel
     runtime and are ignored for serial runs.
+
+    The memo configuration comes from a ``%policy[:capacity[:cold]]``
+    suffix on ``name`` and/or the explicit ``memo_policy`` /
+    ``memo_capacity`` / ``memo_cold_capacity`` / ``memo_profile``
+    arguments (explicit arguments win field by field); ``global_cache``
+    attaches a cross-query :class:`~repro.memo.GlobalPlanCache` as the
+    memo's shared read-through tier.  These are mutually exclusive with
+    passing a prebuilt ``memo``.
     """
-    base, suffix_workers = split_workers(resolve_alias(name))
+    base, memo_spec = split_memo_policy(resolve_alias(name))
+    base, suffix_workers = split_workers(base)
     if workers is None:
         workers = suffix_workers
     spec = parse_name(base)
+
+    wants_memo_config = (
+        memo_spec is not None
+        or memo_policy is not None
+        or memo_capacity is not None
+        or memo_cold_capacity is not None
+        or memo_profile is not None
+        or global_cache is not None
+    )
+    if wants_memo_config:
+        if memo is not None:
+            raise ValueError(
+                "pass either a prebuilt memo or memo policy settings, not both"
+            )
+        if not spec.top_down:
+            raise ValueError(
+                f"{name!r}: memo policies require a top-down algorithm"
+            )
+        if memo_policy is None:
+            memo_policy = memo_spec.policy if memo_spec is not None else "lru"
+        if memo_capacity is None and memo_spec is not None:
+            memo_capacity = memo_spec.capacity
+        if memo_cold_capacity is None:
+            memo_cold_capacity = (
+                memo_spec.cold_capacity if memo_spec is not None else 0
+            )
+        memo = MemoTable(
+            capacity=memo_capacity,
+            policy=memo_policy,
+            cold_capacity=memo_cold_capacity,
+            profile=memo_profile,
+            shared=global_cache,
+        )
     if workers is not None:
         if not spec.top_down:
             raise ValueError(
@@ -298,6 +419,7 @@ def make_optimizer(
             registry=registry,
             trace_dir=worker_trace_dir,
             start_method=start_method,
+            global_cache=global_cache,
         )
     if spec.top_down:
         return TopDownEnumerator(

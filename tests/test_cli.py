@@ -169,3 +169,119 @@ class TestParallelCli:
         assert len(traces) == 2
         for trace in traces:
             assert (tmp_path / trace.split("/")[-1]).exists()
+
+
+class TestMemoCli:
+    """The --memo-* optimize flags and the profile-memo subcommand."""
+
+    def _json_of(self, capsys, argv):
+        import json
+
+        assert main(argv) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_memo_flags_parse(self):
+        args = build_parser().parse_args([
+            "optimize", "--memo-policy", "cost", "--memo-capacity", "64",
+            "--memo-cold-capacity", "32", "--memo-profile", "p.json",
+        ])
+        assert args.memo_policy == "cost"
+        assert args.memo_capacity == 64
+        assert args.memo_cold_capacity == 32
+        assert args.memo_profile == "p.json"
+
+    def test_memo_policy_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["optimize", "--memo-policy", "random"])
+
+    def test_json_memo_block(self, capsys):
+        payload = self._json_of(capsys, [
+            "optimize", "--topology", "star", "--n", "6", "--seed", "5",
+            "--memo-policy", "cost", "--memo-capacity", "10", "--json",
+        ])
+        memo = payload["memo"]
+        assert memo["policy"] == "cost"
+        assert memo["capacity"] == 10
+        assert memo["occupancy"] <= 10
+        assert memo["evictions"] > 0
+        for field in ("hits", "misses", "demotions", "cold_hits",
+                      "shared_hits", "recompute_cost_saved"):
+            assert field in memo
+
+    def test_bounded_memo_matches_unbounded_cost(self, capsys):
+        base = ["optimize", "--topology", "clique", "--n", "6",
+                "--seed", "5", "--json"]
+        unbounded = self._json_of(capsys, base)
+        bounded = self._json_of(capsys, base + [
+            "--memo-policy", "cost", "--memo-capacity", "8",
+            "--memo-cold-capacity", "8",
+        ])
+        assert bounded["cost"] == unbounded["cost"]
+        assert bounded["plan"] == unbounded["plan"]
+        assert bounded["memo"]["demotions"] > 0
+
+    def test_text_mode_prints_memo_line(self, capsys):
+        assert main([
+            "optimize", "--topology", "star", "--n", "6",
+            "--memo-policy", "lru", "--memo-capacity", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "memo: lru policy, capacity 8" in out
+
+    def test_memo_suffix_on_algorithm_name(self, capsys):
+        payload = self._json_of(capsys, [
+            "optimize", "--algorithm", "TBNmc%cost:16", "--topology",
+            "star", "--n", "6", "--json",
+        ])
+        assert payload["memo"]["policy"] == "cost"
+        assert payload["memo"]["capacity"] == 16
+
+    def test_bad_profile_path_fails_cleanly(self, capsys):
+        code = main([
+            "optimize", "--memo-policy", "profile",
+            "--memo-profile", "/nonexistent/profile.json",
+        ])
+        assert code == 2
+        assert "cannot load memo profile" in capsys.readouterr().err
+
+    def test_profile_memo_roundtrip(self, capsys, tmp_path):
+        out = str(tmp_path / "profile.json")
+        assert main([
+            "profile-memo", "--topology", "star", "--n", "6",
+            "--seed", "5", "--out", out,
+        ]) == 0
+        message = capsys.readouterr().out
+        assert "profile:" in message and out in message
+        payload = self._json_of(capsys, [
+            "optimize", "--topology", "star", "--n", "6", "--seed", "5",
+            "--memo-policy", "profile", "--memo-capacity", "10",
+            "--memo-profile", out, "--json",
+        ])
+        assert payload["memo"]["policy"] == "profile"
+        assert payload["cost"] > 0
+
+    def test_profile_memo_from_trace(self, capsys, tmp_path):
+        trace = str(tmp_path / "trace.jsonl")
+        out = str(tmp_path / "profile.json")
+        assert main([
+            "optimize", "--topology", "chain", "--n", "5",
+            "--trace-out", trace,
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "profile-memo", "--from-trace", trace, "--metric", "time",
+            "--out", out,
+        ]) == 0
+        import json
+
+        payload = json.load(open(out, encoding="utf-8"))
+        assert payload["metric"] == "time"
+        assert payload["weights"]
+
+    def test_profile_memo_missing_trace_fails(self, capsys, tmp_path):
+        code = main([
+            "profile-memo", "--from-trace", "/nonexistent.jsonl",
+            "--out", str(tmp_path / "p.json"),
+        ])
+        assert code == 2
+        assert "cannot build profile" in capsys.readouterr().err

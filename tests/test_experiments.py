@@ -46,7 +46,9 @@ class TestCommon:
 
 class TestExperimentRegistry:
     def test_all_ids_present(self):
-        expected = {f"fig{i}" for i in range(2, 21)} | {"fig21-24", "fig25-30", "table2"}
+        expected = {f"fig{i}" for i in range(2, 21)} | {
+            "fig21-24", "fig25-30", "memory-policies", "shared-cache", "table2",
+        }
         assert set(EXPERIMENTS) == expected
 
 

@@ -96,4 +96,4 @@ class TestEvictionPolicies:
         assert memo.get(query, 1, None) is not None
 
     def test_policies_listed(self):
-        assert MemoTable.POLICIES == ("lru", "smallest")
+        assert MemoTable.POLICIES == ("lru", "smallest", "cost", "profile")

@@ -5,10 +5,12 @@ import pytest
 from repro.bottomup import DPccp, DPsize, DPsub
 from repro.enumerator import Bounding, TopDownEnumerator
 from repro.registry import (
+    MemoSpec,
     available_algorithms,
     make_optimizer,
     optimize,
     parse_name,
+    split_memo_policy,
 )
 from repro.spaces import PlanSpace
 from repro.workloads import chain
@@ -96,3 +98,118 @@ class TestConstruction:
         with pytest.raises(ValueError):
             optimize("BBNccp", query, initial_plan=seed_plan)
         assert optimize("TBNmcP", query, initial_plan=seed_plan).cost == seed_plan.cost
+
+
+class TestMemoSpecParsing:
+    """The ``%policy[:capacity[:cold]]`` memo-bounding grammar."""
+
+    def test_plain_name_has_no_spec(self):
+        assert split_memo_policy("TBNmc") == ("TBNmc", None)
+
+    def test_policy_only(self):
+        base, spec = split_memo_policy("TBNmc%cost")
+        assert base == "TBNmc"
+        assert spec == MemoSpec(policy="cost", capacity=None, cold_capacity=0)
+
+    def test_policy_capacity_cold(self):
+        _, spec = split_memo_policy("TBNmc%profile:64:32")
+        assert spec == MemoSpec(policy="profile", capacity=64, cold_capacity=32)
+
+    def test_workers_suffix_in_either_order(self):
+        assert split_memo_policy("TBNmc@2%cost:64") == (
+            "TBNmc@2", MemoSpec(policy="cost", capacity=64, cold_capacity=0)
+        )
+        assert split_memo_policy("TBNmc%cost:64@2") == (
+            "TBNmc@2", MemoSpec(policy="cost", capacity=64, cold_capacity=0)
+        )
+
+    def test_policy_is_case_insensitive(self):
+        _, spec = split_memo_policy("TBNmc%COST:8")
+        assert spec.policy == "cost"
+
+    def test_rejections(self):
+        for bad in (
+            "TBNmc%random",        # unknown policy
+            "TBNmc%cost:abc",      # non-integer capacity
+            "TBNmc%cost:-1",       # negative capacity
+            "TBNmc%cost:8:x",      # non-integer cold capacity
+            "TBNmc%cost:8:4:2",    # too many parts
+        ):
+            with pytest.raises(ValueError):
+                split_memo_policy(bad)
+
+    def test_alias_resolution_preserves_spec(self):
+        from repro.registry import resolve_alias
+
+        assert resolve_alias("mincutlazy%cost:64") == "TBNmc%cost:64"
+        assert resolve_alias("mincutlazy%cost:64:32@2") == "TBNmc@2%cost:64:32"
+        assert resolve_alias("parallel%lru:8") == "TBNmc@4%lru:8"
+
+    def test_parse_name_ignores_spec(self):
+        assert parse_name("TBNmc%cost:64").name == "TBNmc"
+        assert parse_name("tbnmcap%profile").bounding is not None
+
+
+class TestMemoConstruction:
+    """make_optimizer wiring of the memo policy settings."""
+
+    def test_suffix_builds_bounded_memo(self):
+        query = weighted_query(chain(4), 1)
+        optimizer = make_optimizer("TBNmc%cost:16:8", query)
+        memo = optimizer.memo
+        assert memo.policy == "cost"
+        assert memo.capacity == 16
+        assert memo.cold_capacity == 8
+
+    def test_explicit_args_win_over_suffix(self):
+        query = weighted_query(chain(4), 1)
+        optimizer = make_optimizer(
+            "TBNmc%lru:16", query, memo_policy="cost", memo_capacity=4
+        )
+        assert optimizer.memo.policy == "cost"
+        assert optimizer.memo.capacity == 4
+
+    def test_policy_without_capacity_is_unbounded(self):
+        query = weighted_query(chain(4), 1)
+        optimizer = make_optimizer("TBNmc", query, memo_policy="cost")
+        assert optimizer.memo.capacity is None
+        assert optimizer.memo.policy == "cost"
+
+    def test_prebuilt_memo_conflicts_with_config(self):
+        from repro.memo import MemoTable
+
+        query = weighted_query(chain(4), 1)
+        with pytest.raises(ValueError, match="not both"):
+            make_optimizer(
+                "TBNmc", query, memo=MemoTable(), memo_policy="cost"
+            )
+
+    def test_memo_policy_rejected_for_bottom_up(self):
+        query = weighted_query(chain(4), 1)
+        with pytest.raises(ValueError, match="top-down"):
+            make_optimizer("BBNccp", query, memo_policy="cost")
+
+    def test_global_cache_attaches_as_shared_tier(self):
+        from repro.memo import GlobalPlanCache
+
+        query = weighted_query(chain(4), 1)
+        cache = GlobalPlanCache()
+        optimizer = make_optimizer("TBNmc", query, global_cache=cache)
+        assert optimizer.memo.shared is cache
+
+    def test_profile_attaches(self):
+        from repro.cache.costing import CostProfile
+
+        query = weighted_query(chain(4), 1)
+        profile = CostProfile()
+        optimizer = make_optimizer(
+            "TBNmc", query, memo_policy="profile", memo_capacity=8,
+            memo_profile=profile,
+        )
+        assert optimizer.memo.profile is profile
+
+    def test_spec_runs_optimally(self):
+        query = weighted_query(chain(6), 3)
+        best = make_optimizer("TBNmc", query).optimize()
+        plan = make_optimizer("TBNmc%cost:8:4@2", query).optimize()
+        assert plan.cost == best.cost
