@@ -1,0 +1,43 @@
+"""Section 3's optimality guarantee as a benchmark: time between joins.
+
+The optimal top-down strategies promise at most linear time (in the
+number of relations) between successive join operators.  This module
+sweeps the ``time_between_joins_us`` histogram across query sizes per
+topology, asserts the fitted log-log growth of the p95 gap and of the
+deterministic work-per-join proxy stays sub-threshold, and writes the
+machine-readable sweep to ``BENCH_optimality.json`` (uploaded as a CI
+artifact; ``repro.conformance.optimality --check`` gates the same data).
+"""
+
+from repro.conformance.optimality import (
+    WALL_SLOPE_THRESHOLD,
+    WORK_SLOPE_THRESHOLD,
+    measure_optimality,
+)
+
+from benchmarks.conftest import write_bench_json
+
+
+def test_emit_optimality_json(scale):
+    report = measure_optimality(scale=scale)
+    path = write_bench_json("optimality", report.to_dict())
+    print(f"\noptimality sweep -> {path}")
+    for fit in report.fits:
+        print(
+            f"  {fit['algorithm']:8s} {fit['topology']:7s} "
+            f"p95 slope {fit['gap_p95_slope']} "
+            f"work slope {fit['work_per_join_slope']}"
+        )
+    assert report.rows
+    assert report.ok, report.failures
+
+
+def test_gated_fits_stay_linear(scale):
+    report = measure_optimality(scale=scale, repeats=1)
+    gated = [fit for fit in report.fits if fit["gated"]]
+    assert gated
+    for fit in gated:
+        if fit["gap_p95_slope"] is not None:
+            assert fit["gap_p95_slope"] <= WALL_SLOPE_THRESHOLD, fit
+        if fit["work_per_join_slope"] is not None:
+            assert fit["work_per_join_slope"] <= WORK_SLOPE_THRESHOLD, fit

@@ -24,6 +24,7 @@ __all__ = [
     "count_connected_subgraphs",
     "count_join_operators",
     "count_minimal_cuts",
+    "ono_lohman_connected_subgraphs",
     "ono_lohman_join_operators",
     "ono_lohman_minimal_cuts",
 ]
@@ -123,6 +124,35 @@ def ono_lohman_join_operators(topology: str, n: int, space: PlanSpace) -> int:
     # interior points; the full cycle splits into any of the n(n-1)/2
     # complementary arc pairs.  Ordered: n(n-1)(n-2) + n(n-1) = n(n-1)^2.
     return n * (n - 1) ** 2
+
+
+def ono_lohman_connected_subgraphs(topology: str, n: int) -> int:
+    """Closed-form connected-subgraph (csg) counts for canonical topologies.
+
+    The csg count is the number of memoized expressions an exhaustive
+    top-down bushy CP-free enumeration populates (Section 3.1), and the
+    #csg half of the csg-cmp characterization of DPccp's search space:
+
+    * ``chain``: every arc, ``n (n + 1) / 2``;
+    * ``star``: any hub-containing subset plus the spoke singletons,
+      ``2^(n-1) + n - 1``;
+    * ``cycle``: ``n`` arcs of each length ``1 .. n-1`` plus the full
+      cycle, ``n (n - 1) + 1``;
+    * ``clique``: every non-empty subset, ``2^n - 1``.
+    """
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    if topology == "chain":
+        return n * (n + 1) // 2
+    if topology == "star":
+        return 2 ** (n - 1) + n - 1
+    if topology == "clique":
+        return 2**n - 1
+    if topology == "cycle":
+        if n < 3:
+            raise ValueError("cycle needs n >= 3")
+        return n * (n - 1) + 1
+    raise ValueError(f"unknown topology {topology!r}")
 
 
 def ono_lohman_minimal_cuts(topology: str, n: int) -> int:

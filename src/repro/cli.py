@@ -8,6 +8,7 @@ Subcommands::
     repro profile-memo --out prof.json ...     # trace -> memo cost profile
     repro experiment fig9 [--scale paper]      # regenerate a figure/table
     repro experiment all [--scale small]       # everything (EXPERIMENTS.md)
+    repro verify [--fuzz N] [--invariant ...]  # conformance invariants
 
 ``optimize`` accepts ``--json`` (machine-readable result),
 ``--trace-out PATH`` (JSONL span dump, one span per memoized expression
@@ -37,6 +38,7 @@ from repro.obs import (
 )
 from repro.registry import available_algorithms, make_optimizer, parse_name
 from repro.experiments.common import graph_maker
+from repro.workloads.seeding import DEFAULT_SEED
 from repro.workloads.weights import weighted_query
 
 __all__ = ["main"]
@@ -298,6 +300,88 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Run the conformance suite: canned battery, corpus replay, fuzzing.
+
+    Exit status is 1 when any invariant is violated, 2 on bad arguments;
+    see ``docs/conformance.md`` for what each invariant encodes.
+    """
+    from repro.conformance import fuzz as run_fuzz
+    from repro.conformance import replay_corpus
+    from repro.conformance.invariants import INVARIANTS, standard_battery
+
+    selected = tuple(args.invariant) if args.invariant else None
+    if selected:
+        unknown = [name for name in selected if name not in INVARIANTS]
+        if unknown:
+            print(
+                f"unknown invariants {unknown}; choose from "
+                f"{', '.join(sorted(INVARIANTS))}",
+                file=sys.stderr,
+            )
+            return 2
+    if args.fuzz < 0:
+        print(f"--fuzz must be >= 0, got {args.fuzz}", file=sys.stderr)
+        return 2
+
+    report: dict[str, object] = {"seed": args.seed}
+    violations = []
+
+    battery = standard_battery(invariants=selected)
+    violations.extend(battery)
+    report["battery"] = {
+        "invariants": sorted(selected or INVARIANTS),
+        "violations": [v.to_dict() for v in battery],
+    }
+
+    if args.corpus:
+        replayed = replay_corpus(args.corpus)
+        violations.extend(replayed)
+        report["corpus"] = {
+            "directory": args.corpus,
+            "violations": [v.to_dict() for v in replayed],
+        }
+
+    if args.fuzz:
+        def progress(case):
+            if not args.json and case.index and case.index % 50 == 0:
+                print(f"fuzz: {case.index}/{args.fuzz} cases", file=sys.stderr)
+
+        fuzz_report = run_fuzz(
+            args.fuzz,
+            seed=args.seed,
+            invariants=selected,
+            corpus_dir=args.reproducer_dir,
+            on_case=progress,
+        )
+        report["fuzz"] = fuzz_report.to_dict()
+        violations.extend(fuzz_report.violations)
+
+    if args.json:
+        report["ok"] = not violations
+        print(json.dumps(report, indent=2))
+    else:
+        print(f"battery: {len(battery)} violation(s)")
+        if args.corpus:
+            print(f"corpus:  {len(report['corpus']['violations'])} violation(s)")
+        if args.fuzz:
+            print(
+                f"fuzz:    {args.fuzz} case(s), seed {args.seed}, "
+                f"{len(report['fuzz']['violations'])} violation(s)"
+            )
+        for violation in battery:
+            print(f"  {violation}")
+        if args.fuzz:
+            for record in report["fuzz"]["violations"]:
+                repro_graph = record["reproducer"]
+                print(
+                    f"  case {record['case']}: shrunk to n={repro_graph['n']} "
+                    f"edges={repro_graph['edges']}"
+                )
+        print("verify: " + ("FAIL" if violations else "ok"))
+    return 1 if violations else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -433,6 +517,36 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--scale", default="small", choices=["small", "paper"])
     experiment.add_argument("--json", action="store_true", help="emit JSON rows")
 
+    verify = sub.add_parser(
+        "verify",
+        help="run the conformance invariants (docs/conformance.md)",
+    )
+    verify.add_argument(
+        "--fuzz", type=int, default=0, metavar="N",
+        help="additionally fuzz N seeded random graphs through the "
+             "differential matrix (0 = battery only)",
+    )
+    verify.add_argument(
+        "--invariant", action="append", metavar="NAME",
+        help="restrict to one invariant (repeatable); default: all",
+    )
+    verify.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED,
+        help="master seed for the fuzz case generator",
+    )
+    verify.add_argument(
+        "--corpus", metavar="DIR",
+        help="also replay every regression-corpus entry under DIR",
+    )
+    verify.add_argument(
+        "--reproducer-dir", metavar="DIR",
+        help="write shrunk fuzz reproducers into DIR for triage",
+    )
+    verify.add_argument(
+        "--json", action="store_true",
+        help="emit one machine-readable report instead of text",
+    )
+
     return parser
 
 
@@ -446,6 +560,7 @@ def main(argv: list[str] | None = None) -> int:
         "profile-memo": _cmd_profile_memo,
         "run": _cmd_run,
         "experiment": _cmd_experiment,
+        "verify": _cmd_verify,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,375 @@
+"""Differential fuzz driver with shrinking and a regression corpus.
+
+Seeded, deterministic: one master seed derives every case (graph size,
+cyclicity, structure seed, weight seed), so any failure is reproducible
+from the numbers in its report.  Each case runs the invariant suite of
+:mod:`repro.conformance.invariants` — the exponential partition oracles on
+small graphs, the differential registry matrix on the weighted query — and
+on violation *shrinks* the graph to a minimal reproducer: greedily delete
+vertices, then edges, as long as the violation persists and the graph
+stays connected.
+
+Minimal reproducers are persisted as JSON corpus entries (committed under
+``tests/corpus/`` in this repository); :func:`replay_corpus` re-checks
+every entry, which is how a once-found bug becomes a permanent regression
+test.  See ``docs/conformance.md`` for the workflow.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.catalog.query import Query
+from repro.conformance.invariants import (
+    GRAPH_INVARIANTS,
+    INVARIANTS,
+    ORACLE_MAX_N,
+    Violation,
+    run_invariants,
+)
+from repro.core.joingraph import JoinGraph
+from repro.workloads.random_graphs import random_connected_graph
+from repro.workloads.seeding import DEFAULT_SEED
+from repro.workloads.weights import weighted_query
+
+__all__ = [
+    "CORPUS_SCHEMA",
+    "FuzzCase",
+    "FuzzReport",
+    "fuzz",
+    "load_corpus",
+    "replay_corpus",
+    "save_corpus_entry",
+    "shrink",
+]
+
+CORPUS_SCHEMA = 1
+
+#: Cyclicity factors sampled by the driver (Section 3.3.3's C parameter).
+CYCLICITY_CHOICES = (0.0, 0.2, 0.4, 0.6)
+
+#: Graph-level oracle checks are exponential; the fuzzer caps them lower
+#: than the canned battery so 200-case runs stay interactive.
+FUZZ_ORACLE_MAX_N = 7
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One deterministic fuzz input, fully described by four numbers."""
+
+    index: int
+    n: int
+    cyclicity: float
+    graph_seed: int
+    query_seed: int
+
+    def build_graph(self) -> JoinGraph:
+        return random_connected_graph(self.n, self.cyclicity, self.graph_seed)
+
+    def build_query(self, graph: JoinGraph | None = None) -> Query:
+        if graph is None:
+            graph = self.build_graph()
+        return weighted_query(graph, self.query_seed)
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "n": self.n,
+            "cyclicity": self.cyclicity,
+            "graph_seed": self.graph_seed,
+            "query_seed": self.query_seed,
+        }
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz run: inputs covered and violations found."""
+
+    seed: int
+    cases: int = 0
+    violations: list[dict[str, Any]] = field(default_factory=list)
+    corpus_paths: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "cases": self.cases,
+            "ok": self.ok,
+            "violations": self.violations,
+            "corpus_paths": self.corpus_paths,
+        }
+
+
+def generate_cases(
+    count: int,
+    seed: int = DEFAULT_SEED,
+    n_range: tuple[int, int] = (4, 8),
+) -> list[FuzzCase]:
+    """Derive ``count`` deterministic cases from one master seed."""
+    lo, hi = n_range
+    if lo < 2 or hi < lo:
+        raise ValueError(f"bad n_range {n_range}; need 2 <= lo <= hi")
+    rng = random.Random(seed)
+    cases = []
+    for index in range(count):
+        cases.append(
+            FuzzCase(
+                index=index,
+                n=rng.randint(lo, hi),
+                cyclicity=rng.choice(CYCLICITY_CHOICES),
+                graph_seed=rng.randrange(1 << 31),
+                query_seed=rng.randrange(1 << 31),
+            )
+        )
+    return cases
+
+
+def _check_graph(
+    graph: JoinGraph,
+    query_seed: int,
+    invariants: tuple[str, ...],
+    matrix: dict[str, tuple[str, ...]] | None,
+    oracle_max_n: int,
+) -> list[Violation]:
+    """The failure predicate shared by the driver and the shrinker."""
+    graph_checks = tuple(i for i in invariants if i in GRAPH_INVARIANTS)
+    query_checks = tuple(
+        i for i in invariants if i not in GRAPH_INVARIANTS and i != "ccp-closed-form"
+    )
+    violations: list[Violation] = []
+    if graph_checks and graph.n <= oracle_max_n:
+        violations += run_invariants(graph, None, graph_checks)
+    if query_checks and not violations:
+        # Query-level checks are the expensive differential runs; once the
+        # cheap oracles already fail there is nothing further to learn.
+        query = weighted_query(graph, query_seed)
+        violations += run_invariants(graph, query, query_checks, matrix=matrix)
+    return violations
+
+
+def _without_vertex(graph: JoinGraph, v: int) -> JoinGraph | None:
+    """``graph`` with vertex ``v`` deleted and the rest relabelled compactly.
+
+    Returns ``None`` when deletion would disconnect the graph or leave
+    fewer than two vertices.
+    """
+    if graph.n <= 2:
+        return None
+    rest = graph.all_vertices & ~(1 << v)
+    if not graph.is_connected(rest):
+        return None
+    relabel = {}
+    for old in range(graph.n):
+        if old != v:
+            relabel[old] = len(relabel)
+    edges = [
+        (relabel[e.u], relabel[e.v]) for e in graph.edges if v not in (e.u, e.v)
+    ]
+    return JoinGraph(graph.n - 1, edges)
+
+
+def _without_edge(graph: JoinGraph, index: int) -> JoinGraph | None:
+    """``graph`` minus its ``index``-th edge, or None if that disconnects."""
+    edges = [
+        (e.u, e.v) for i, e in enumerate(graph.edges) if i != index
+    ]
+    candidate = JoinGraph(graph.n, edges)
+    if not candidate.is_connected():
+        return None
+    return candidate
+
+
+def shrink(
+    graph: JoinGraph,
+    failing: Callable[[JoinGraph], list[Violation]],
+    max_rounds: int = 64,
+) -> tuple[JoinGraph, list[Violation]]:
+    """Greedily minimize ``graph`` while ``failing`` still reports violations.
+
+    Tries vertex deletions first (the biggest single-step reductions),
+    then edge deletions, restarting after every successful reduction; the
+    result is 1-minimal — no single deletion preserves the failure.
+    ``failing(graph)`` must be non-empty on entry.
+    """
+    violations = failing(graph)
+    if not violations:
+        raise ValueError("shrink() needs a failing input to start from")
+    for _ in range(max_rounds):
+        reduced = False
+        for v in range(graph.n):
+            candidate = _without_vertex(graph, v)
+            if candidate is None:
+                continue
+            candidate_violations = failing(candidate)
+            if candidate_violations:
+                graph, violations = candidate, candidate_violations
+                reduced = True
+                break
+        if reduced:
+            continue
+        for index in range(len(graph.edges)):
+            candidate = _without_edge(graph, index)
+            if candidate is None:
+                continue
+            candidate_violations = failing(candidate)
+            if candidate_violations:
+                graph, violations = candidate, candidate_violations
+                reduced = True
+                break
+        if not reduced:
+            break
+    return graph, violations
+
+
+# -- corpus ------------------------------------------------------------------
+
+
+def corpus_entry(
+    graph: JoinGraph,
+    query_seed: int,
+    violations: list[Violation],
+    source: str,
+    invariants: Iterable[str] | None = None,
+) -> dict[str, Any]:
+    """Serialize one reproducer (or probe graph) as a corpus entry."""
+    return {
+        "schema": CORPUS_SCHEMA,
+        "n": graph.n,
+        "edges": [[e.u, e.v] for e in graph.edges],
+        "query_seed": query_seed,
+        "invariants": sorted(invariants) if invariants else sorted(INVARIANTS),
+        "source": source,
+        "violations": [v.to_dict() for v in violations],
+    }
+
+
+def save_corpus_entry(directory: str, entry: dict[str, Any]) -> str:
+    """Write ``entry`` under ``directory`` with a content-addressed name."""
+    os.makedirs(directory, exist_ok=True)
+    payload = json.dumps(entry, indent=2, sort_keys=True) + "\n"
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:10]
+    first = entry["violations"][0]["invariant"] if entry["violations"] else "probe"
+    path = os.path.join(directory, f"{first}-n{entry['n']}-{digest}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+    return path
+
+
+def load_corpus(directory: str) -> list[tuple[str, dict[str, Any]]]:
+    """Load every ``*.json`` corpus entry under ``directory`` (sorted)."""
+    if not os.path.isdir(directory):
+        return []
+    entries = []
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(directory, name)
+        with open(path, encoding="utf-8") as handle:
+            entries.append((path, json.load(handle)))
+    return entries
+
+
+def replay_corpus(
+    directory: str,
+    matrix: dict[str, tuple[str, ...]] | None = None,
+    oracle_max_n: int = ORACLE_MAX_N,
+) -> list[Violation]:
+    """Re-run every corpus entry's invariants; a clean run returns [].
+
+    Entries record graphs that once violated (or probe) an invariant; the
+    suite passing over them is the regression guarantee that old bugs
+    stay fixed.
+    """
+    violations: list[Violation] = []
+    for path, entry in load_corpus(directory):
+        graph = JoinGraph(entry["n"], [tuple(e) for e in entry["edges"]])
+        found = _check_graph(
+            graph,
+            entry["query_seed"],
+            tuple(entry.get("invariants") or tuple(INVARIANTS)),
+            matrix,
+            oracle_max_n,
+        )
+        for violation in found:
+            violations.append(
+                Violation(
+                    violation.invariant,
+                    f"corpus entry {os.path.basename(path)}: {violation.detail}",
+                    violation.subject,
+                )
+            )
+    return violations
+
+
+# -- driver ------------------------------------------------------------------
+
+
+def fuzz(
+    count: int,
+    seed: int = DEFAULT_SEED,
+    n_range: tuple[int, int] = (4, 8),
+    invariants: Iterable[str] | None = None,
+    matrix: dict[str, tuple[str, ...]] | None = None,
+    corpus_dir: str | None = None,
+    oracle_max_n: int = FUZZ_ORACLE_MAX_N,
+    on_case: Callable[[FuzzCase], None] | None = None,
+) -> FuzzReport:
+    """Run ``count`` seeded random graphs through the invariant matrix.
+
+    On violation the offending graph is shrunk to a minimal reproducer;
+    with ``corpus_dir`` set, the reproducer is saved there for triage and
+    for promotion into the committed regression corpus.
+    """
+    selected = tuple(invariants) if invariants is not None else tuple(INVARIANTS)
+    unknown = [name for name in selected if name not in INVARIANTS]
+    if unknown:
+        raise ValueError(
+            f"unknown invariants {unknown}; choose from {sorted(INVARIANTS)}"
+        )
+    report = FuzzReport(seed=seed)
+    for case in generate_cases(count, seed, n_range):
+        if on_case is not None:
+            on_case(case)
+        report.cases += 1
+        graph = case.build_graph()
+
+        def failing(candidate: JoinGraph) -> list[Violation]:
+            return _check_graph(
+                candidate, case.query_seed, selected, matrix, oracle_max_n
+            )
+
+        found = failing(graph)
+        if not found:
+            continue
+        shrunk, shrunk_violations = shrink(graph, failing)
+        record = {
+            "case": case.describe(),
+            "violations": [v.to_dict() for v in found],
+            "reproducer": {
+                "n": shrunk.n,
+                "edges": [[e.u, e.v] for e in shrunk.edges],
+                "query_seed": case.query_seed,
+                "violations": [v.to_dict() for v in shrunk_violations],
+            },
+        }
+        if corpus_dir is not None:
+            entry = corpus_entry(
+                shrunk,
+                case.query_seed,
+                shrunk_violations,
+                source=f"fuzz seed={seed} case={case.index}",
+                invariants=selected,
+            )
+            record["corpus_path"] = save_corpus_entry(corpus_dir, entry)
+            report.corpus_paths.append(record["corpus_path"])
+        report.violations.append(record)
+    return report

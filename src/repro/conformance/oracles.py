@@ -1,0 +1,152 @@
+"""Brute-force ground truth the invariant checkers compare against.
+
+Everything here is exponential-time and proudly so: the point is to be
+*obviously* correct, so the clever linear-delay algorithms can be checked
+against first principles on small graphs.  The oracles restate the
+paper's definitions directly:
+
+* :func:`space_partition_pairs` — the ordered partitions a plan space
+  admits for one expression (Section 3.1's contract for ``Partition``);
+* :func:`is_minimal_cut` — Definition 3.1, checked literally: the
+  crossing edge set is a cut no proper subset of which is a cut;
+* :func:`brute_force_articulation` — a vertex is an articulation vertex
+  iff deleting it disconnects the (connected) graph;
+* :func:`connected_subsets` — the csg enumeration underlying the
+  Ono–Lohman counts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.core.bitset import bit, iter_bits, iter_subsets
+from repro.core.joingraph import Edge, JoinGraph
+from repro.spaces import PlanSpace
+
+__all__ = [
+    "brute_force_articulation",
+    "connected_subsets",
+    "crossing_edges",
+    "is_minimal_cut",
+    "space_partition_pairs",
+]
+
+
+def connected_subsets(graph: JoinGraph, min_size: int = 1) -> Iterator[int]:
+    """Yield every vertex subset of size >= ``min_size`` inducing a
+    connected subgraph, in increasing numeric order."""
+    for subset in iter_subsets(graph.all_vertices):
+        if subset.bit_count() >= min_size and graph.is_connected(subset):
+            yield subset
+
+
+def space_partition_pairs(
+    graph: JoinGraph, subset: int, space: PlanSpace
+) -> set[tuple[int, int]]:
+    """The exact set of ordered partitions ``space`` admits for ``subset``.
+
+    This is the ground-truth contract of Algorithm 1's ``Partition``
+    function: ordered pairs ``(left, right)`` of non-empty disjoint masks
+    whose union is ``subset``; left-deep spaces additionally require
+    ``right`` to be a single relation, CP-free spaces require both sides
+    to induce connected subgraphs (which, for a connected ``subset``,
+    forces at least one crossing join predicate).
+    """
+    cp_free = not space.allows_cartesian_products
+    pairs: set[tuple[int, int]] = set()
+    if subset & (subset - 1) == 0:
+        return pairs
+    if space.is_left_deep:
+        for v in iter_bits(subset):
+            right = bit(v)
+            left = subset ^ right
+            if cp_free and not graph.is_connected(left):
+                continue
+            pairs.add((left, right))
+        return pairs
+    for left in iter_subsets(subset, proper=True):
+        right = subset ^ left
+        if cp_free and not (
+            graph.is_connected(left) and graph.is_connected(right)
+        ):
+            continue
+        pairs.add((left, right))
+    return pairs
+
+
+def crossing_edges(graph: JoinGraph, left: int, right: int) -> list[Edge]:
+    """The join predicates with one endpoint in ``left`` and one in ``right``."""
+    return [
+        e
+        for e in graph.edges
+        if (bit(e.u) & left and bit(e.v) & right)
+        or (bit(e.u) & right and bit(e.v) & left)
+    ]
+
+
+def _connected_without_edges(
+    graph: JoinGraph, subset: int, removed: set[Edge]
+) -> bool:
+    """Connectivity of ``G|_subset`` after deleting the ``removed`` edges."""
+    if subset == 0:
+        return False
+    adjacency: dict[int, int] = {v: 0 for v in iter_bits(subset)}
+    for e in graph.edges_within(subset):
+        if e in removed:
+            continue
+        adjacency[e.u] |= bit(e.v)
+        adjacency[e.v] |= bit(e.u)
+    start = subset & -subset
+    reached = start
+    frontier = start
+    while frontier:
+        expansion = 0
+        for v in iter_bits(frontier):
+            expansion |= adjacency[v]
+        frontier = expansion & subset & ~reached
+        reached |= frontier
+    return reached == subset
+
+
+def is_minimal_cut(graph: JoinGraph, subset: int, left: int, right: int) -> bool:
+    """Definition 3.1, checked from first principles.
+
+    ``(left, right)`` partitions connected ``G|_subset``; the induced edge
+    cut is the set ``C`` of predicates crossing the partition.  ``C`` is a
+    *minimal* cut iff deleting it disconnects ``G|_subset`` while deleting
+    any proper subset ``C \\ {e}`` does not.  (Equivalently — the form the
+    strategies exploit — both sides must induce connected subgraphs;
+    testing the definition directly keeps the oracle independent of that
+    equivalence.)
+    """
+    if left == 0 or right == 0 or left & right or (left | right) != subset:
+        return False
+    cut = crossing_edges(graph, left, right)
+    if not cut:
+        return False
+    full = set(cut)
+    if _connected_without_edges(graph, subset, full):
+        return False  # not even a cut
+    return all(
+        _connected_without_edges(graph, subset, full - {edge}) for edge in cut
+    )
+
+
+def brute_force_articulation(graph: JoinGraph, subset: int | None = None) -> int:
+    """Articulation vertices of connected ``G|_subset`` as a mask.
+
+    A vertex is an articulation vertex iff removing it leaves the rest of
+    the subgraph disconnected — tested literally, one deletion at a time,
+    as the oracle for the Hopcroft–Tarjan implementation in
+    :mod:`repro.core.biconnection`.
+    """
+    if subset is None:
+        subset = graph.all_vertices
+    mask = 0
+    if subset.bit_count() <= 2:
+        return 0
+    for v in iter_bits(subset):
+        rest = subset & ~bit(v)
+        if not graph.is_connected(rest):
+            mask |= bit(v)
+    return mask

@@ -46,6 +46,14 @@ from repro.experiments.memory import (
 )
 from repro.experiments.table2 import run_table2
 
+
+def run_optimality(scale: str = "small"):
+    """§3 optimality sweep (lazy import: conformance uses this package)."""
+    from repro.conformance.optimality import run_optimality_experiment
+
+    return run_optimality_experiment(scale)
+
+
 EXPERIMENTS = {
     "fig2": run_fig2_acyclic,
     "fig3": run_fig3_cyclic,
@@ -71,6 +79,7 @@ EXPERIMENTS = {
     "memory-policies": run_memory_policies,
     "shared-cache": run_shared_cache,
     "table2": run_table2,
+    "optimality": run_optimality,
 }
 
 __all__ = ["EXPERIMENTS", "ExperimentResult"]

@@ -64,6 +64,7 @@ __all__ = [
     "ALGORITHM_ALIASES",
     "MemoSpec",
     "available_algorithms",
+    "conformance_matrix",
     "make_optimizer",
     "optimize",
     "parse_name",
@@ -301,6 +302,56 @@ def available_algorithms(include_bounded: bool = True) -> list[str]:
         for base in ("TLNmc", "TBNmc", "TLCnaive", "TBCnaive", "TLNnaive", "TBNnaive"):
             names.extend(base + suffix for suffix in ("A", "P", "AP"))
     return names
+
+
+def conformance_matrix(
+    *, workers: int = 2, memo_capacity: int = 24
+) -> dict[str, tuple[str, ...]]:
+    """The differential-testing matrix of :mod:`repro.conformance`.
+
+    Groups registry configurations by plan space: every configuration in a
+    group must return the same optimal plan cost on any query, because
+    they search the same space — serially or with ``@N`` workers, with an
+    unbounded memo or any ``%policy`` bounded one, exhaustively or under
+    either branch-and-bound mode.  One source of truth shared by
+    ``repro verify``, the fuzz driver, and the conformance tests.
+    """
+    return {
+        "bushy-cp-free": (
+            "TBNmc",
+            "TBNmcopt",
+            "TBNnaive",
+            "BBNccp",
+            "BBNnaive",
+            "BBNsize",
+            "TBNmcA",
+            "TBNmcP",
+            "TBNmcAP",
+            f"TBNmc@{workers}",
+            f"TBNmc%cost:{memo_capacity}",
+            f"TBNmc%profile:{memo_capacity}",
+            f"TBNmc%lru:{memo_capacity}:{memo_capacity}",
+        ),
+        "left-deep-cp-free": (
+            "TLNmc",
+            "TLNnaive",
+            "BLNsize",
+            "TLNmcA",
+            "TLNmcP",
+            "TLNmcAP",
+        ),
+        "bushy-with-cp": (
+            "TBCnaive",
+            "BBCnaive",
+            "BBCsize",
+            "TBCnaiveAP",
+        ),
+        "left-deep-with-cp": (
+            "TLCnaive",
+            "BLCsize",
+            "TLCnaiveAP",
+        ),
+    }
 
 
 def _partition_for(spec: AlgorithmSpec):

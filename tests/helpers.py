@@ -1,15 +1,73 @@
-"""Shared non-fixture helpers for the test suite."""
+"""Shared non-fixture helpers for the test suite.
+
+The graph/query factories here replace the ad-hoc ``weighted_query(
+chain(5), 3)`` constructions that used to be re-spelled in every test
+module: name a topology, a size, and (optionally) a seed, and get the
+same graph or weighted query everywhere.  ``DEFAULT_SEED`` (the
+repository-wide workload seed) is the default, so tests that don't care
+about the seed stay deterministic without inventing their own.
+"""
 
 from __future__ import annotations
 
+from typing import Callable
+
+from repro.catalog.query import Query
 from repro.core.joingraph import JoinGraph
-from repro.workloads import random_connected_graph
+from repro.workloads import (
+    binary_tree,
+    chain,
+    clique,
+    cycle,
+    grid,
+    random_connected_graph,
+    star,
+    wheel,
+)
+from repro.workloads.seeding import DEFAULT_SEED
+from repro.workloads.weights import weighted_query
+
+#: name -> (n) -> JoinGraph for every fixed shape the suite parametrizes over.
+TOPOLOGIES: dict[str, Callable[[int], JoinGraph]] = {
+    "chain": chain,
+    "star": star,
+    "cycle": cycle,
+    "clique": clique,
+    "wheel": wheel,
+    "binary_tree": binary_tree,
+    # Two-row lattice: the smallest shape with non-trivial biconnection.
+    "grid": lambda n: grid(2, max(1, n // 2)),
+}
+
+
+def make_graph(topology: str, n: int, seed: int = DEFAULT_SEED) -> JoinGraph:
+    """Build a named topology; ``random``/``tree`` shapes consume the seed."""
+    if topology in TOPOLOGIES:
+        return TOPOLOGIES[topology](n)
+    if topology == "random-acyclic":
+        return random_connected_graph(n, 0.0, seed)
+    if topology == "random-cyclic":
+        return random_connected_graph(n, 0.4, seed)
+    raise ValueError(
+        f"unknown topology {topology!r}; choose from "
+        f"{sorted(TOPOLOGIES) + ['random-acyclic', 'random-cyclic']}"
+    )
+
+
+def make_query(topology: str, n: int, seed: int = DEFAULT_SEED) -> Query:
+    """A weighted query over :func:`make_graph` with seeded statistics."""
+    return weighted_query(make_graph(topology, n, seed), seed)
+
+
+def random_query(
+    n: int, cyclicity: float = 0.2, seed: int = DEFAULT_SEED
+) -> Query:
+    """A weighted query over a seeded random connected graph."""
+    return weighted_query(random_connected_graph(n, cyclicity, seed), seed)
 
 
 def small_graphs() -> list[JoinGraph]:
     """A diverse batch of small graphs for oracle-style comparisons."""
-    from repro.workloads import binary_tree, chain, clique, cycle, grid, star, wheel
-
     graphs = [
         chain(1),
         chain(2),

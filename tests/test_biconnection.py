@@ -61,6 +61,34 @@ class TestArticulation:
         expected = mask_of(nx.articulation_points(to_networkx(g)))
         assert articulation_vertices(g) == expected
 
+    @given(
+        st.integers(3, 8),
+        st.sampled_from([0.0, 0.2, 0.4, 0.7]),
+        st.integers(0, 5000),
+    )
+    @settings(max_examples=60)
+    def test_matches_brute_force(self, n, cyclicity, seed):
+        """Networkx-free oracle: v is articulation iff deleting v disconnects."""
+        from repro.conformance import brute_force_articulation
+
+        g = random_connected_graph(n, cyclicity, seed)
+        assert articulation_vertices(g) == brute_force_articulation(
+            g, g.all_vertices
+        )
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=40)
+    def test_subset_matches_brute_force(self, seed):
+        """The oracle agrees on induced (connected) proper subsets too."""
+        from repro.conformance import brute_force_articulation
+        from repro.conformance.oracles import connected_subsets
+
+        g = random_connected_graph(7, 0.4, seed)
+        for subset in connected_subsets(g, min_size=3):
+            assert articulation_vertices(g, subset) == brute_force_articulation(
+                g, subset
+            )
+
 
 class TestBiconnectedComponents:
     def test_figure1_components(self):

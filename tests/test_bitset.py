@@ -113,6 +113,36 @@ class TestProperties:
     def test_set_roundtrip(self, mask):
         assert mask_of(set_of(mask)) == mask
 
+    @given(st.sets(st.integers(0, 11), min_size=1))
+    def test_subset_enumeration_complete(self, vertices):
+        """Every non-empty subset of the ground set is enumerated.
+
+        Builds the expected powerset independently (by extending each
+        already-known subset with one more element) rather than trusting
+        any bit trick, then compares as sets.
+        """
+        mask = mask_of(vertices)
+        expected = {0}
+        for v in vertices:
+            expected |= {s | bit(v) for s in expected}
+        expected.discard(0)
+        assert set(iter_subsets(mask)) == expected
+
+    @given(nonempty_masks)
+    def test_lowest_bit_strip_roundtrip(self, mask):
+        """Peeling lowest_bit until empty visits every bit exactly once."""
+        rest, peeled = mask, 0
+        order = []
+        while rest:
+            low = lowest_bit(rest)
+            assert peeled & low == 0
+            peeled |= low
+            order.append(first_bit(low))
+            rest ^= low
+        assert peeled == mask
+        assert order == list(iter_bits(mask))
+        assert mask_of(order) == mask
+
     @given(masks)
     def test_iter_bits_matches_popcount(self, mask):
         assert len(list(iter_bits(mask))) == popcount(mask)

@@ -11,8 +11,10 @@ from repro.partition import MinCutLazy, MinCutLeftDeep
 from repro.plans import validate_plan
 from repro.plans.physical import INFINITY
 from repro.spaces import PlanSpace
-from repro.workloads import chain, random_connected_graph, star
+from repro.workloads import random_connected_graph
 from repro.workloads.weights import weighted_query
+
+from tests.helpers import make_query
 
 ALL_BOUNDINGS = [
     Bounding.ACCUMULATED,
@@ -49,7 +51,7 @@ class TestOptimalityPreserved:
 
     @pytest.mark.parametrize("bounding", ALL_BOUNDINGS, ids=["A", "P", "AP"])
     def test_left_deep_star(self, bounding):
-        query = weighted_query(star(8), 17)
+        query = make_query("star", 8, 17)
         exhaustive = TopDownEnumerator(query, MinCutLeftDeep()).optimize()
         bounded = TopDownEnumerator(
             query, MinCutLeftDeep(), bounding=bounding
@@ -60,7 +62,7 @@ class TestOptimalityPreserved:
 
 class TestAccumulatedCostMechanics:
     def test_budget_failure_returns_none_and_stores_bound(self):
-        query = weighted_query(chain(4), 3)
+        query = make_query("chain", 4, 3)
         enum = TopDownEnumerator(
             query, MinCutLazy(), bounding=Bounding.ACCUMULATED
         )
@@ -75,7 +77,7 @@ class TestAccumulatedCostMechanics:
         assert entry is not None and entry.lower_bound is not None
 
     def test_stored_bound_short_circuits(self):
-        query = weighted_query(chain(5), 3)
+        query = make_query("chain", 5, 3)
         enum = TopDownEnumerator(query, MinCutLazy(), bounding=Bounding.ACCUMULATED)
         optimum = enum.optimize().cost
         fresh = TopDownEnumerator(query, MinCutLazy(), bounding=Bounding.ACCUMULATED)
@@ -88,7 +90,7 @@ class TestAccumulatedCostMechanics:
         assert fresh.metrics.memo_bound_hits >= 1
 
     def test_larger_budget_reoptimizes_after_failure(self):
-        query = weighted_query(chain(5), 3)
+        query = make_query("chain", 5, 3)
         optimum = TopDownEnumerator(query, MinCutLazy()).optimize().cost
         enum = TopDownEnumerator(query, MinCutLazy(), bounding=Bounding.ACCUMULATED)
         full = query.graph.all_vertices
@@ -98,7 +100,7 @@ class TestAccumulatedCostMechanics:
         assert plan.cost == pytest.approx(optimum)
 
     def test_budget_exactly_at_optimum_succeeds(self):
-        query = weighted_query(chain(4), 5)
+        query = make_query("chain", 4, 5)
         optimum = TopDownEnumerator(query, MinCutLazy()).optimize().cost
         enum = TopDownEnumerator(query, MinCutLazy(), bounding=Bounding.ACCUMULATED)
         plan = enum._get_best_budgeted(query.graph.all_vertices, None, optimum)
@@ -107,7 +109,7 @@ class TestAccumulatedCostMechanics:
     def test_reexpansion_pathology_on_stars(self):
         """Section 4.3.2: accumulated-cost bounding re-expands logical
         expressions; exhaustive search never does."""
-        query = weighted_query(star(8), 23)
+        query = make_query("star", 8, 23)
         exhaustive = Metrics()
         TopDownEnumerator(query, MinCutLazy(), metrics=exhaustive).optimize()
         accumulated = Metrics()
@@ -118,7 +120,7 @@ class TestAccumulatedCostMechanics:
         assert accumulated.expressions_reexpanded > 0
 
     def test_budget_failures_counted(self):
-        query = weighted_query(star(7), 29)
+        query = make_query("star", 7, 29)
         metrics = Metrics()
         TopDownEnumerator(
             query, MinCutLazy(), bounding=Bounding.ACCUMULATED, metrics=metrics
@@ -128,7 +130,7 @@ class TestAccumulatedCostMechanics:
 
 class TestPredictedCostMechanics:
     def test_prunes_counted(self):
-        query = weighted_query(star(8), 31)
+        query = make_query("star", 8, 31)
         metrics = Metrics()
         TopDownEnumerator(
             query, MinCutLazy(), bounding=Bounding.PREDICTED, metrics=metrics
@@ -137,7 +139,7 @@ class TestPredictedCostMechanics:
 
     def test_no_reexpansion_with_predicted_only(self):
         """Predicted-cost bounding respects memoization (unlike A)."""
-        query = weighted_query(star(8), 31)
+        query = make_query("star", 8, 31)
         metrics = Metrics()
         TopDownEnumerator(
             query, MinCutLazy(), bounding=Bounding.PREDICTED, metrics=metrics
@@ -145,7 +147,7 @@ class TestPredictedCostMechanics:
         assert metrics.expressions_reexpanded == 0
 
     def test_fewer_plans_stored_than_exhaustive(self):
-        query = weighted_query(star(9), 37)
+        query = make_query("star", 9, 37)
         exhaustive = TopDownEnumerator(query, MinCutLazy())
         exhaustive.optimize()
         predicted = TopDownEnumerator(query, MinCutLazy(), bounding=Bounding.PREDICTED)
@@ -155,7 +157,7 @@ class TestPredictedCostMechanics:
 
 class TestInitialPlanSeeding:
     def test_seed_never_worsens_result(self):
-        query = weighted_query(chain(6), 41)
+        query = make_query("chain", 6, 41)
         optimum = TopDownEnumerator(query, MinCutLazy()).optimize()
         for bounding in ALL_BOUNDINGS:
             seeded = TopDownEnumerator(
@@ -165,7 +167,7 @@ class TestInitialPlanSeeding:
 
     def test_unreachable_seed_is_returned(self):
         """If the seed is already optimal, accumulated search returns it."""
-        query = weighted_query(chain(4), 43)
+        query = make_query("chain", 4, 43)
         optimum = TopDownEnumerator(query, MinCutLazy()).optimize()
         enum = TopDownEnumerator(query, MinCutLazy(), bounding=Bounding.ACCUMULATED)
         plan = enum.optimize(initial_plan=optimum)
@@ -183,7 +185,7 @@ class TestInitialPlanSeeding:
         assert bushy.cost <= left_deep.cost + 1e-9
 
     def test_infinite_budget_without_seed(self):
-        query = weighted_query(chain(3), 1)
+        query = make_query("chain", 3, 1)
         enum = TopDownEnumerator(query, MinCutLazy(), bounding=Bounding.ACCUMULATED)
         plan = enum.optimize()
         assert plan.cost < INFINITY

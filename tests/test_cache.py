@@ -23,7 +23,8 @@ from repro.cost.io_model import CostModel
 from repro.memo import GlobalPlanCache, MemoTable
 from repro.registry import make_optimizer
 from repro.workloads import chain, clique, cycle, star
-from repro.workloads.weights import weighted_query
+
+from tests.helpers import make_query
 
 
 @pytest.fixture
@@ -298,7 +299,7 @@ TOPOLOGIES = {"chain": chain, "star": star, "cycle": cycle, "clique": clique}
 @pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
 def test_optimal_under_every_policy_and_capacity(topology, policy, capacity):
     """Eviction never costs optimality: plans match unbounded memoization."""
-    query = weighted_query(TOPOLOGIES[topology](6), 11)
+    query = make_query(topology, 6, 11)
     best = make_optimizer("TBNmc", query).optimize()
     plan = make_optimizer(
         "TBNmc", query, memo_policy=policy, memo_capacity=capacity
@@ -309,7 +310,7 @@ def test_optimal_under_every_policy_and_capacity(topology, policy, capacity):
 
 @pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
 def test_optimal_with_cold_tier(topology):
-    query = weighted_query(TOPOLOGIES[topology](6), 11)
+    query = make_query(topology, 6, 11)
     best = make_optimizer("TBNmc", query).optimize()
     optimizer = make_optimizer(
         "TBNmc", query, memo_policy="cost", memo_capacity=8,
@@ -323,7 +324,7 @@ def test_optimal_with_cold_tier(topology):
 def test_profile_policy_optimal_with_real_profile():
     from repro.obs.tracer import RecordingTracer
 
-    query = weighted_query(star(6), 11)
+    query = make_query("star", 6, 11)
     tracer = RecordingTracer()
     best = make_optimizer("TBNmc", query, tracer=tracer).optimize()
     profile = CostProfile.from_tracer(tracer)
@@ -337,7 +338,7 @@ def test_profile_policy_optimal_with_real_profile():
 
 def test_bounded_variants_stay_optimal_under_cost_eviction():
     """Accumulated/predicted bounding composes with cost-aware eviction."""
-    query = weighted_query(cycle(7), 5)
+    query = make_query("cycle", 7, 5)
     best = make_optimizer("TBNmc", query).optimize()
     for name in ("TBNmcA", "TBNmcP", "TBNmcAP"):
         plan = make_optimizer(
@@ -357,7 +358,7 @@ class TestProperties:
     )
     @settings(max_examples=30, deadline=None)
     def test_occupancy_never_exceeds_capacity(self, capacity, seed, policy):
-        query = weighted_query(chain(6), seed)
+        query = make_query("chain", 6, seed)
         optimizer = make_optimizer(
             "TBNmc", query, memo_policy=policy, memo_capacity=capacity
         )
@@ -370,7 +371,7 @@ class TestProperties:
     @given(cold=st.integers(1, 16), seed=st.integers(0, 2**16))
     @settings(max_examples=20, deadline=None)
     def test_cold_hits_are_counted_and_saved_cost_positive(self, cold, seed):
-        query = weighted_query(star(6), seed)
+        query = make_query("star", 6, seed)
         optimizer = make_optimizer(
             "TBNmc", query, memo_policy="cost", memo_capacity=4,
             memo_cold_capacity=cold,
@@ -423,7 +424,7 @@ class TestProperties:
 
 class TestGlobalPlanCache:
     def test_second_identical_query_is_free(self):
-        query = weighted_query(star(6), 9)
+        query = make_query("star", 6, 9)
         cache = GlobalPlanCache()
         first = Metrics()
         plan1 = make_optimizer(
@@ -443,13 +444,13 @@ class TestGlobalPlanCache:
             GlobalPlanCache().export_entries()
 
     def test_absorb_memo_rejects_global_cache(self):
-        query = weighted_query(chain(4), 1)
+        query = make_query("chain", 4, 1)
         with pytest.raises(TypeError):
             GlobalPlanCache().absorb_memo(query, GlobalPlanCache())
 
     def test_stat_mismatch_blocks_reuse(self):
         """Same names, different stats: the canonical key must not match."""
-        query = weighted_query(chain(4), 1)
+        query = make_query("chain", 4, 1)
         cache = GlobalPlanCache()
         memo = MemoTable(shared=cache)
         optimizer = make_optimizer("TBNmc", query, memo=memo)
@@ -457,7 +458,7 @@ class TestGlobalPlanCache:
         assert len(cache) > 0
         # A query over the same graph with different weights shares the
         # relation *names* but not the statistics.
-        other = weighted_query(chain(4), 2)
+        other = make_query("chain", 4, 2)
         assert cache.export_for_query(other) == []
         fresh = Metrics()
         plan = make_optimizer(
@@ -467,7 +468,7 @@ class TestGlobalPlanCache:
         assert plan.cost == make_optimizer("TBNmc", other).optimize().cost
 
     def test_export_for_query_is_sorted_and_applicable(self):
-        query = weighted_query(chain(5), 3)
+        query = make_query("chain", 5, 3)
         cache = GlobalPlanCache()
         make_optimizer("TBNmc", query, global_cache=cache).optimize()
         entries = cache.export_for_query(query)
@@ -478,7 +479,7 @@ class TestGlobalPlanCache:
         assert memo.import_entries(query, entries) == len(entries)
 
     def test_absorb_then_reuse(self):
-        query = weighted_query(star(5), 4)
+        query = make_query("star", 5, 4)
         memo = MemoTable()
         plan = make_optimizer("TBNmc", query, memo=memo).optimize()
         cache = GlobalPlanCache()
@@ -490,7 +491,7 @@ class TestGlobalPlanCache:
 
 class TestParallelSharedCache:
     def test_workers_with_shared_cache_match_serial(self):
-        query = weighted_query(clique(8), 42)
+        query = make_query("clique", 8, 42)
         serial = make_optimizer("TBNmc", query).optimize()
         cache = GlobalPlanCache()
         warm = make_optimizer("TBNmc", query, global_cache=cache).optimize()
@@ -505,7 +506,7 @@ class TestParallelSharedCache:
         assert metrics.join_operators_costed == 0
 
     def test_workers_with_cold_shared_cache_match_serial(self):
-        query = weighted_query(star(7), 13)
+        query = make_query("star", 7, 13)
         serial = make_optimizer("TBNmc", query).optimize()
         parallel = make_optimizer(
             "TBNmc@2", query, global_cache=GlobalPlanCache()

@@ -16,8 +16,10 @@ from repro.partition import (
 )
 from repro.plans import validate_plan
 from repro.spaces import PlanSpace
-from repro.workloads import chain, random_connected_graph, star
+from repro.workloads import chain, random_connected_graph
 from repro.workloads.weights import weighted_query
+
+from tests.helpers import make_query
 
 
 def two_relation_query():
@@ -44,25 +46,25 @@ class TestBasics:
         validate_plan(plan, q)
 
     def test_best_plan_subexpression(self):
-        q = weighted_query(chain(5), 3)
+        q = make_query("chain", 5, 3)
         enum = TopDownEnumerator(q, MinCutLazy())
         sub = enum.best_plan(0b00111)
         validate_plan(sub, q, expected_vertices=0b00111)
 
     def test_best_plan_disconnected_cp_free_fails(self):
-        q = weighted_query(chain(5), 3)
+        q = make_query("chain", 5, 3)
         enum = TopDownEnumerator(q, MinCutLazy())
         with pytest.raises(OptimizationError):
             enum.best_plan(0b10001)  # disconnected: no CP-free plan
 
     def test_disconnected_ok_with_cp_space(self):
-        q = weighted_query(chain(5), 3)
+        q = make_query("chain", 5, 3)
         enum = TopDownEnumerator(q, NaiveBushyCP())
         plan = enum.best_plan(0b10001)
         validate_plan(plan, q, expected_vertices=0b10001)
 
     def test_repeated_optimize_uses_memo(self):
-        q = weighted_query(star(6), 1)
+        q = make_query("star", 6, 1)
         metrics = Metrics()
         enum = TopDownEnumerator(q, MinCutLazy(), metrics=metrics)
         first = enum.optimize()
@@ -75,10 +77,10 @@ class TestBasics:
 class TestOptimalityCounters:
     """The enumerator must enumerate exactly the Ono–Lohman join operators."""
 
-    @pytest.mark.parametrize("topology,maker", [("chain", chain), ("star", star)])
+    @pytest.mark.parametrize("topology", ["chain", "star"])
     @pytest.mark.parametrize("n", [2, 4, 6, 8])
-    def test_bushy_cp_free_counts(self, topology, maker, n):
-        q = weighted_query(maker(n), 5)
+    def test_bushy_cp_free_counts(self, topology, n):
+        q = make_query(topology, n, 5)
         metrics = Metrics()
         TopDownEnumerator(q, MinCutLazy(), metrics=metrics).optimize()
         expected = ono_lohman_join_operators(topology, n, PlanSpace.bushy_cp_free())
@@ -86,10 +88,10 @@ class TestOptimalityCounters:
         # Each logical join costs all three physical methods.
         assert metrics.join_operators_costed == 3 * expected
 
-    @pytest.mark.parametrize("topology,maker", [("chain", chain), ("star", star)])
+    @pytest.mark.parametrize("topology", ["chain", "star"])
     @pytest.mark.parametrize("n", [2, 4, 6])
-    def test_left_deep_cp_free_counts(self, topology, maker, n):
-        q = weighted_query(maker(n), 5)
+    def test_left_deep_cp_free_counts(self, topology, n):
+        q = make_query(topology, n, 5)
         metrics = Metrics()
         TopDownEnumerator(q, MinCutLeftDeep(), metrics=metrics).optimize()
         expected = ono_lohman_join_operators(topology, n, PlanSpace.left_deep_cp_free())
@@ -107,7 +109,7 @@ class TestOptimalityCounters:
 
     def test_with_cp_counts(self):
         n = 6
-        q = weighted_query(chain(n), 5)
+        q = make_query("chain", n, 5)
         metrics = Metrics()
         TopDownEnumerator(q, NaiveBushyCP(), metrics=metrics).optimize()
         assert metrics.logical_joins_enumerated == 3**n - 2 ** (n + 1) + 1
@@ -116,7 +118,7 @@ class TestOptimalityCounters:
         assert metrics2.logical_joins_enumerated == n * 2 ** (n - 1) - n
 
     def test_no_reexpansion_without_bounding(self):
-        q = weighted_query(star(7), 5)
+        q = make_query("star", 7, 5)
         metrics = Metrics()
         TopDownEnumerator(q, MinCutLazy(), metrics=metrics).optimize()
         assert metrics.expressions_reexpanded == 0
@@ -126,7 +128,7 @@ class TestGracefulMemoDegradation:
     """Section 5.1: top-down search recomputes missing cells correctly."""
 
     def test_capacity_zero_still_optimal(self):
-        q = weighted_query(star(5), 9)
+        q = make_query("star", 5, 9)
         reference = TopDownEnumerator(q, MinCutLazy()).optimize()
         constrained = TopDownEnumerator(
             q, MinCutLazy(), memo=MemoTable(capacity=0)
@@ -135,7 +137,7 @@ class TestGracefulMemoDegradation:
 
     @pytest.mark.parametrize("capacity", [1, 3, 10, 30])
     def test_any_capacity_still_optimal(self, capacity):
-        q = weighted_query(chain(7), 11)
+        q = make_query("chain", 7, 11)
         reference = TopDownEnumerator(q, MinCutLazy()).optimize()
         metrics = Metrics()
         constrained = TopDownEnumerator(
@@ -148,7 +150,7 @@ class TestGracefulMemoDegradation:
     def test_smaller_capacity_recomputes_more(self):
         # Keep n small: with capacity 0 the recursion re-derives every
         # subexpression per use, which is exponential by design.
-        q = weighted_query(star(6), 4)
+        q = make_query("star", 6, 4)
         expansions = {}
         for capacity in (None, 8, 0):
             metrics = Metrics()
@@ -164,21 +166,21 @@ class TestInterestingOrders:
     """Algorithm 1's demand-driven order machinery."""
 
     def test_ordered_root_plan_satisfies_order(self):
-        q = weighted_query(chain(4), 7)
+        q = make_query("chain", 4, 7)
         enum = TopDownEnumerator(q, MinCutLazy())
         plan = enum.optimize(order=0)
         assert plan.order == 0
         validate_plan(plan, q)
 
     def test_order_never_cheaper_than_unordered(self):
-        q = weighted_query(chain(4), 7)
+        q = make_query("chain", 4, 7)
         enum = TopDownEnumerator(q, MinCutLazy())
         unordered = enum.optimize()
         ordered = enum.optimize(order=0)
         assert ordered.cost >= unordered.cost
 
     def test_memo_keyed_by_order(self):
-        q = weighted_query(chain(4), 7)
+        q = make_query("chain", 4, 7)
         enum = TopDownEnumerator(q, MinCutLazy())
         enum.optimize(order=0)
         full = q.graph.all_vertices
@@ -199,7 +201,7 @@ class TestInterestingOrders:
         assert plan.cost <= model.build_sort(q, unordered, 0).cost + 1e-9
 
     def test_scan_order_via_sort(self):
-        q = weighted_query(chain(3), 1)
+        q = make_query("chain", 3, 1)
         enum = TopDownEnumerator(q, MinCutLazy())
         plan = enum.best_plan(0b001, order=0)
         assert plan.op == "sort"
@@ -211,7 +213,7 @@ class TestIndexScans:
     without a sort, which demand-driven order search exploits."""
 
     def test_index_scan_satisfies_order_directly(self):
-        q = weighted_query(chain(3), 5)
+        q = make_query("chain", 3, 5)
         model = CostModel(indexed_relations={0})
         enum = TopDownEnumerator(q, MinCutLazy(), model)
         plan = enum.best_plan(0b001, order=0)
@@ -219,7 +221,7 @@ class TestIndexScans:
         assert plan.order == 0
 
     def test_index_never_worse_than_sort(self):
-        q = weighted_query(chain(4), 5)
+        q = make_query("chain", 4, 5)
         plain = TopDownEnumerator(q, MinCutLazy(), CostModel())
         indexed = TopDownEnumerator(
             q, MinCutLazy(), CostModel(indexed_relations={0, 1, 2, 3})
@@ -230,13 +232,13 @@ class TestIndexScans:
             assert with_index.cost <= without.cost + 1e-9
 
     def test_index_only_covers_its_own_relation(self):
-        q = weighted_query(chain(3), 5)
+        q = make_query("chain", 3, 5)
         model = CostModel(indexed_relations={0})
         assert model.scan_plans(q, 0b010, order=1) == []
         assert model.scan_plans(q, 0b001, order=1) == []
 
     def test_unordered_scan_unaffected(self):
-        q = weighted_query(chain(3), 5)
+        q = make_query("chain", 3, 5)
         model = CostModel(indexed_relations={0})
         [scan] = model.scan_plans(q, 0b001, None)
         assert scan.op == "scan"

@@ -47,7 +47,8 @@ class TestCommon:
 class TestExperimentRegistry:
     def test_all_ids_present(self):
         expected = {f"fig{i}" for i in range(2, 21)} | {
-            "fig21-24", "fig25-30", "memory-policies", "shared-cache", "table2",
+            "fig21-24", "fig25-30", "memory-policies", "shared-cache",
+            "table2", "optimality",
         }
         assert set(EXPERIMENTS) == expected
 

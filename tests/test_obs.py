@@ -20,13 +20,12 @@ from repro.obs import (
 )
 from repro.obs.registry import TIME_BETWEEN_JOINS
 from repro.registry import available_algorithms, make_optimizer, resolve_alias
-from repro.workloads import chain, clique, cycle
-from repro.workloads.weights import weighted_query
+from tests.helpers import make_query
 
 
 @pytest.fixture
 def chain8():
-    return weighted_query(chain(8), 7)
+    return make_query("chain", 8, 7)
 
 
 class TestMetricsHelpers:
@@ -169,13 +168,13 @@ class TestRegistryInstruments:
     @pytest.mark.parametrize("name", available_algorithms())
     def test_time_between_joins_for_every_algorithm(self, name):
         """(c) The time-between-joins histogram is populated everywhere."""
-        query = weighted_query(chain(5), 11)
+        query = make_query("chain", 5, 11)
         registry = MetricsRegistry()
         make_optimizer(name, query, registry=registry).optimize()
         assert registry.histogram(TIME_BETWEEN_JOINS).count > 0
 
     def test_partitions_histogram_matches_metrics(self):
-        query = weighted_query(cycle(6), 5)
+        query = make_query("cycle", 6, 5)
         registry = MetricsRegistry()
         metrics = Metrics()
         make_optimizer(
@@ -186,7 +185,7 @@ class TestRegistryInstruments:
         assert histogram.total == metrics.partitions_emitted
 
     def test_memo_occupancy_series(self):
-        query = weighted_query(chain(6), 5)
+        query = make_query("chain", 6, 5)
         registry = MetricsRegistry()
         metrics = Metrics()
         make_optimizer(
@@ -319,14 +318,14 @@ class TestAliases:
         assert resolve_alias(alias) == canonical
 
     def test_alias_optimizes(self):
-        query = weighted_query(clique(5), 3)
+        query = make_query("clique", 5, 3)
         via_alias = make_optimizer("mincutlazy", query).optimize()
         canonical = make_optimizer("TBNmc", query).optimize()
         assert via_alias.cost == canonical.cost
 
     def test_unknown_name_still_rejected(self):
         with pytest.raises(ValueError, match="unrecognized"):
-            make_optimizer("nonsense", weighted_query(chain(3), 1))
+            make_optimizer("nonsense", make_query("chain", 3, 1))
 
 
 class TestMetricsMerge:

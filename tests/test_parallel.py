@@ -33,6 +33,8 @@ from repro.spaces import PlanSpace
 from repro.workloads import chain, clique, cycle, star
 from repro.workloads.weights import weighted_query
 
+from tests.helpers import make_query
+
 TOPOLOGIES = {
     "chain": chain(6),
     "cycle": cycle(6),
@@ -177,7 +179,7 @@ class TestIdentity:
         assert parallel.cost == serial.cost
 
     def test_larger_clique_matches_serial(self):
-        query = weighted_query(clique(8), 11)
+        query = make_query("clique", 8, 11)
         serial = optimize("TBNmc", query)
         parallel = make_optimizer("TBNmc", query, workers=2).optimize()
         assert parallel.cost == serial.cost
@@ -192,7 +194,7 @@ class TestIdentity:
         assert parallel.order == serial.order
 
     def test_tiny_query_falls_back_to_serial(self):
-        query = weighted_query(chain(3), 5)
+        query = make_query("chain", 3, 5)
         parallel = make_optimizer("TBNmc", query, workers=4)
         plan = parallel.optimize()
         assert plan.cost == optimize("TBNmc", query).cost

@@ -17,7 +17,12 @@ from repro.partition import MinCutLazy, MinCutLeftDeep, MinCutOptimistic
 from repro.plans import validate_plan
 from repro.spaces import PlanSpace
 from repro.workloads import binary_tree, chain, random_connected_graph
+from repro.workloads.seeding import DEFAULT_SEED
 from repro.workloads.weights import weighted_query
+
+from tests.helpers import make_query
+
+pytestmark = pytest.mark.stress
 
 
 class TestWideBitsets:
@@ -49,7 +54,7 @@ class TestWideBitsets:
 class TestWideOptimization:
     def test_chain_80_left_deep(self):
         """Left-deep chain optimization is Θ(n²) join operators."""
-        q = weighted_query(chain(80), 7)
+        q = make_query("chain", 80, DEFAULT_SEED)
         metrics = Metrics()
         plan = TopDownEnumerator(q, MinCutLeftDeep(), metrics=metrics).optimize()
         assert metrics.logical_joins_enumerated == 80 * 79
@@ -58,7 +63,7 @@ class TestWideOptimization:
     def test_chain_40_bushy(self):
         """Bushy chain optimization is Θ(n³) join operators."""
         n = 40
-        q = weighted_query(chain(n), 7)
+        q = make_query("chain", n, DEFAULT_SEED)
         metrics = Metrics()
         plan = TopDownEnumerator(q, MinCutLazy(), metrics=metrics).optimize()
         assert metrics.logical_joins_enumerated == (n**3 - n) // 3
@@ -68,7 +73,7 @@ class TestWideOptimization:
         """Full optimization of an arbitrary 70-vertex tree can have
         exponentially many csg-cmp pairs, but its minimal cuts are exactly
         its 69 edges — enumerable in linear time per cut."""
-        g = random_connected_graph(70, 0.0, 3)
+        g = random_connected_graph(70, 0.0, DEFAULT_SEED)
         metrics = Metrics()
         cuts = list(MinCutLazy().partitions(g, g.all_vertices, metrics))
         assert len(cuts) == 2 * 69
