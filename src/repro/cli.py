@@ -9,6 +9,7 @@ Subcommands::
     repro experiment fig9 [--scale paper]      # regenerate a figure/table
     repro experiment all [--scale small]       # everything (EXPERIMENTS.md)
     repro verify [--fuzz N] [--invariant ...]  # conformance invariants
+    repro lint src/ [--format json] ...        # repo-aware static analysis
 
 ``optimize`` accepts ``--json`` (machine-readable result),
 ``--trace-out PATH`` (JSONL span dump, one span per memoized expression
@@ -24,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.analysis.metrics import Metrics
@@ -309,6 +311,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.conformance import fuzz as run_fuzz
     from repro.conformance import replay_corpus
     from repro.conformance.invariants import INVARIANTS, standard_battery
+    from repro.workloads.skewed import PROFILES
 
     selected = tuple(args.invariant) if args.invariant else None
     if selected:
@@ -322,6 +325,15 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             return 2
     if args.fuzz < 0:
         print(f"--fuzz must be >= 0, got {args.fuzz}", file=sys.stderr)
+        return 2
+    profiles = tuple(args.profile) if args.profile else PROFILES
+    unknown_profiles = [name for name in profiles if name not in PROFILES]
+    if unknown_profiles:
+        print(
+            f"unknown profiles {unknown_profiles}; choose from "
+            f"{', '.join(PROFILES)}",
+            file=sys.stderr,
+        )
         return 2
 
     report: dict[str, object] = {"seed": args.seed}
@@ -353,6 +365,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             invariants=selected,
             corpus_dir=args.reproducer_dir,
             on_case=progress,
+            profiles=profiles,
         )
         report["fuzz"] = fuzz_report.to_dict()
         violations.extend(fuzz_report.violations)
@@ -380,6 +393,51 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                 )
         print("verify: " + ("FAIL" if violations else "ok"))
     return 1 if violations else 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the static-analysis rules (docs/static-analysis.md).
+
+    Exit status: 0 when no error-severity findings (warnings never fail
+    the run), 1 on errors, 2 on bad arguments or unparseable input.
+    """
+    from repro.lint import ALL_RULES, lint_paths, render_json, render_rules, render_text
+
+    if args.list_rules:
+        print(render_rules(ALL_RULES))
+        return 0
+    if not args.paths:
+        print("lint: no paths given (try: repro lint src/)", file=sys.stderr)
+        return 2
+    missing = [path for path in args.paths if not os.path.exists(path)]
+    if missing:
+        print(f"lint: no such path(s): {missing}", file=sys.stderr)
+        return 2
+    select = _split_rule_list(args.select)
+    ignore = _split_rule_list(args.ignore)
+    try:
+        report = lint_paths(args.paths, select=select, ignore=ignore)
+    except ValueError as exc:  # unknown rule in --select/--ignore
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    except SyntaxError as exc:
+        print(f"lint: cannot parse {exc.filename}: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return report.exit_code
+
+
+def _split_rule_list(values: list[str] | None) -> list[str] | None:
+    """Flatten repeatable, comma-separated rule-name options."""
+    if not values:
+        return None
+    names = []
+    for value in values:
+        names.extend(name.strip() for name in value.split(",") if name.strip())
+    return names or None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -535,6 +593,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="master seed for the fuzz case generator",
     )
     verify.add_argument(
+        "--profile", action="append", metavar="NAME",
+        help="restrict fuzzing to one weight profile (repeatable); "
+             "default: all (uniform, bimodal-selectivity, "
+             "heavy-tail-cardinality)",
+    )
+    verify.add_argument(
         "--corpus", metavar="DIR",
         help="also replay every regression-corpus entry under DIR",
     )
@@ -545,6 +609,31 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument(
         "--json", action="store_true",
         help="emit one machine-readable report instead of text",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="repo-aware static analysis (docs/static-analysis.md)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (e.g. src/)",
+    )
+    lint.add_argument(
+        "--format", default="text", choices=["text", "json"],
+        help="report format (json is what CI archives)",
+    )
+    lint.add_argument(
+        "--select", action="append", metavar="RULE[,RULE...]",
+        help="run only these rules (repeatable, comma-separated)",
+    )
+    lint.add_argument(
+        "--ignore", action="append", metavar="RULE[,RULE...]",
+        help="skip these rules (repeatable, comma-separated)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
     )
 
     return parser
@@ -561,6 +650,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "experiment": _cmd_experiment,
         "verify": _cmd_verify,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -1,8 +1,11 @@
 """Differential fuzz driver with shrinking and a regression corpus.
 
 Seeded, deterministic: one master seed derives every case (graph size,
-cyclicity, structure seed, weight seed), so any failure is reproducible
-from the numbers in its report.  Each case runs the invariant suite of
+cyclicity, structure seed, weight seed, weight profile), so any failure
+is reproducible from the numbers in its report.  Weight profiles go
+beyond the paper's uniform Section 4.3 calibration — bimodal
+selectivities and heavy-tail cardinalities (:mod:`repro.workloads.skewed`)
+push the estimator and the bounding logic into skewed regimes.  Each case runs the invariant suite of
 :mod:`repro.conformance.invariants` — the exponential partition oracles on
 small graphs, the differential registry matrix on the weighted query — and
 on violation *shrinks* the graph to a minimal reproducer: greedily delete
@@ -35,7 +38,7 @@ from repro.conformance.invariants import (
 from repro.core.joingraph import JoinGraph
 from repro.workloads.random_graphs import random_connected_graph
 from repro.workloads.seeding import DEFAULT_SEED
-from repro.workloads.weights import weighted_query
+from repro.workloads.skewed import PROFILES, skewed_query
 
 __all__ = [
     "CORPUS_SCHEMA",
@@ -60,13 +63,20 @@ FUZZ_ORACLE_MAX_N = 7
 
 @dataclass(frozen=True)
 class FuzzCase:
-    """One deterministic fuzz input, fully described by four numbers."""
+    """One deterministic fuzz input, fully described by five draws.
+
+    ``profile`` selects the weight distribution (see
+    :data:`~repro.workloads.skewed.PROFILES`); it defaults to the paper's
+    uniform Section 4.3 calibration so pre-profile corpus entries and
+    callers keep their exact historical behaviour.
+    """
 
     index: int
     n: int
     cyclicity: float
     graph_seed: int
     query_seed: int
+    profile: str = "uniform"
 
     def build_graph(self) -> JoinGraph:
         return random_connected_graph(self.n, self.cyclicity, self.graph_seed)
@@ -74,7 +84,7 @@ class FuzzCase:
     def build_query(self, graph: JoinGraph | None = None) -> Query:
         if graph is None:
             graph = self.build_graph()
-        return weighted_query(graph, self.query_seed)
+        return skewed_query(graph, self.profile, self.query_seed)
 
     def describe(self) -> dict[str, Any]:
         return {
@@ -83,6 +93,7 @@ class FuzzCase:
             "cyclicity": self.cyclicity,
             "graph_seed": self.graph_seed,
             "query_seed": self.query_seed,
+            "profile": self.profile,
         }
 
 
@@ -113,11 +124,24 @@ def generate_cases(
     count: int,
     seed: int = DEFAULT_SEED,
     n_range: tuple[int, int] = (4, 8),
+    profiles: tuple[str, ...] = PROFILES,
 ) -> list[FuzzCase]:
-    """Derive ``count`` deterministic cases from one master seed."""
+    """Derive ``count`` deterministic cases from one master seed.
+
+    ``profiles`` is the pool of weight profiles sampled per case.  The
+    profile comes from a fixed-width 16-bit draw reduced modulo the pool
+    size (not ``rng.choice``, whose rejection sampling consumes a
+    pool-size-dependent number of bits), so changing the pool never
+    perturbs the graph/seed stream of any case.
+    """
     lo, hi = n_range
     if lo < 2 or hi < lo:
         raise ValueError(f"bad n_range {n_range}; need 2 <= lo <= hi")
+    if not profiles:
+        raise ValueError("profiles must be non-empty")
+    unknown = [p for p in profiles if p not in PROFILES]
+    if unknown:
+        raise ValueError(f"unknown profiles {unknown}; choose from {PROFILES}")
     rng = random.Random(seed)
     cases = []
     for index in range(count):
@@ -128,6 +152,7 @@ def generate_cases(
                 cyclicity=rng.choice(CYCLICITY_CHOICES),
                 graph_seed=rng.randrange(1 << 31),
                 query_seed=rng.randrange(1 << 31),
+                profile=profiles[rng.randrange(1 << 16) % len(profiles)],
             )
         )
     return cases
@@ -139,6 +164,7 @@ def _check_graph(
     invariants: tuple[str, ...],
     matrix: dict[str, tuple[str, ...]] | None,
     oracle_max_n: int,
+    profile: str = "uniform",
 ) -> list[Violation]:
     """The failure predicate shared by the driver and the shrinker."""
     graph_checks = tuple(i for i in invariants if i in GRAPH_INVARIANTS)
@@ -151,7 +177,7 @@ def _check_graph(
     if query_checks and not violations:
         # Query-level checks are the expensive differential runs; once the
         # cheap oracles already fail there is nothing further to learn.
-        query = weighted_query(graph, query_seed)
+        query = skewed_query(graph, profile, query_seed)
         violations += run_invariants(graph, query, query_checks, matrix=matrix)
     return violations
 
@@ -239,13 +265,20 @@ def corpus_entry(
     violations: list[Violation],
     source: str,
     invariants: Iterable[str] | None = None,
+    profile: str = "uniform",
 ) -> dict[str, Any]:
-    """Serialize one reproducer (or probe graph) as a corpus entry."""
+    """Serialize one reproducer (or probe graph) as a corpus entry.
+
+    ``profile`` records the weight distribution the reproducer needs;
+    entries written before profiles existed omit the key and replay as
+    ``"uniform"``, so the schema stays backward compatible.
+    """
     return {
         "schema": CORPUS_SCHEMA,
         "n": graph.n,
         "edges": [[e.u, e.v] for e in graph.edges],
         "query_seed": query_seed,
+        "profile": profile,
         "invariants": sorted(invariants) if invariants else sorted(INVARIANTS),
         "source": source,
         "violations": [v.to_dict() for v in violations],
@@ -298,6 +331,7 @@ def replay_corpus(
             tuple(entry.get("invariants") or tuple(INVARIANTS)),
             matrix,
             oracle_max_n,
+            profile=entry.get("profile", "uniform"),
         )
         for violation in found:
             violations.append(
@@ -322,12 +356,15 @@ def fuzz(
     corpus_dir: str | None = None,
     oracle_max_n: int = FUZZ_ORACLE_MAX_N,
     on_case: Callable[[FuzzCase], None] | None = None,
+    profiles: tuple[str, ...] = PROFILES,
 ) -> FuzzReport:
     """Run ``count`` seeded random graphs through the invariant matrix.
 
     On violation the offending graph is shrunk to a minimal reproducer;
     with ``corpus_dir`` set, the reproducer is saved there for triage and
-    for promotion into the committed regression corpus.
+    for promotion into the committed regression corpus.  ``profiles``
+    restricts the weight distributions sampled per case (default: all of
+    :data:`~repro.workloads.skewed.PROFILES`).
     """
     selected = tuple(invariants) if invariants is not None else tuple(INVARIANTS)
     unknown = [name for name in selected if name not in INVARIANTS]
@@ -336,7 +373,7 @@ def fuzz(
             f"unknown invariants {unknown}; choose from {sorted(INVARIANTS)}"
         )
     report = FuzzReport(seed=seed)
-    for case in generate_cases(count, seed, n_range):
+    for case in generate_cases(count, seed, n_range, profiles):
         if on_case is not None:
             on_case(case)
         report.cases += 1
@@ -344,7 +381,12 @@ def fuzz(
 
         def failing(candidate: JoinGraph) -> list[Violation]:
             return _check_graph(
-                candidate, case.query_seed, selected, matrix, oracle_max_n
+                candidate,
+                case.query_seed,
+                selected,
+                matrix,
+                oracle_max_n,
+                profile=case.profile,
             )
 
         found = failing(graph)
@@ -358,6 +400,7 @@ def fuzz(
                 "n": shrunk.n,
                 "edges": [[e.u, e.v] for e in shrunk.edges],
                 "query_seed": case.query_seed,
+                "profile": case.profile,
                 "violations": [v.to_dict() for v in shrunk_violations],
             },
         }
@@ -368,6 +411,7 @@ def fuzz(
                 shrunk_violations,
                 source=f"fuzz seed={seed} case={case.index}",
                 invariants=selected,
+                profile=case.profile,
             )
             record["corpus_path"] = save_corpus_entry(corpus_dir, entry)
             report.corpus_paths.append(record["corpus_path"])

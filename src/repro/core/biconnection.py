@@ -22,9 +22,11 @@ with the current vertex set when reusing a stale tree (Section 3.3.1).
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro.core.bitset import bit, iter_bits, popcount
+from repro.core.joingraph import JoinGraph
 
 __all__ = [
     "BccNode",
@@ -225,7 +227,9 @@ def _dfs_biconnected(
     return components, articulation, order
 
 
-def biconnected_components(graph, subset: int | None = None) -> list[int]:
+def biconnected_components(
+    graph: JoinGraph, subset: int | None = None
+) -> list[int]:
     """Return the biconnected components of ``G|_subset`` as vertex masks.
 
     ``graph`` is a :class:`~repro.core.joingraph.JoinGraph`.  ``subset`` must
@@ -239,7 +243,7 @@ def biconnected_components(graph, subset: int | None = None) -> list[int]:
     return [c.members for c in components]
 
 
-def articulation_vertices(graph, subset: int | None = None) -> int:
+def articulation_vertices(graph: JoinGraph, subset: int | None = None) -> int:
     """Return the articulation vertices of connected ``G|_subset`` as a mask."""
     if subset is None:
         subset = graph.all_vertices
@@ -248,7 +252,7 @@ def articulation_vertices(graph, subset: int | None = None) -> int:
     return articulation
 
 
-def build_bcc_tree(graph, subset: int, t: int) -> BiconnectionTree:
+def build_bcc_tree(graph: JoinGraph, subset: int, t: int) -> BiconnectionTree:
     """Algorithm 3: build the biconnection tree for connected ``G|_subset``.
 
     ``t`` designates the root vertex node.  Runs in ``O(|E|)`` and, as the
@@ -290,7 +294,10 @@ def build_bcc_tree(graph, subset: int, t: int) -> BiconnectionTree:
     for v in order:
         if v == t:
             continue
-        comp = components[parent_component[v]]
+        parent_idx = parent_component[v]
+        if parent_idx is None:  # unreachable: every non-root has a parent
+            raise AssertionError(f"vertex {v} has no parent component")
+        comp = components[parent_idx]
         ancestors[v] = ancestors[comp.top] | bit(v)
 
     return BiconnectionTree(
@@ -304,7 +311,7 @@ def build_bcc_tree(graph, subset: int, t: int) -> BiconnectionTree:
     )
 
 
-def sum_of_masks(masks) -> int:
+def sum_of_masks(masks: Iterable[int]) -> int:
     """Union an iterable of masks (helper shared with tests)."""
     total = 0
     for m in masks:

@@ -202,7 +202,7 @@ class JoinGraph:
         """Return the masks of the connected components of ``G|_subset``."""
         if subset is None:
             subset = self.all_vertices
-        components = []
+        components: list[int] = []
         reachable_from = self.reachable_from
         remaining = subset
         while remaining:

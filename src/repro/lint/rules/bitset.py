@@ -1,0 +1,186 @@
+"""Bitset-discipline rules for the Section 3.1 bitmap model.
+
+The paper's complexity analysis assumes vertex sets are machine words and
+set operations are single bitwise instructions.  The core and partition
+packages carry that assumption; materializing masks into Python sets or
+walking bits with per-element ``range`` loops silently re-introduces the
+linear factors the analysis excludes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import ERROR, WARNING, Finding, ModuleSource, Rule
+
+__all__ = ["BinPopcountRule", "BitsetMaterializationRule", "PerBitLoopRule"]
+
+
+def _call_name(node: ast.expr) -> str | None:
+    """Name of a direct ``name(...)`` call, else None."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id
+    return None
+
+
+class BinPopcountRule(Rule):
+    """Use ``int.bit_count()`` (or ``popcount``), never ``bin(x).count``.
+
+    ``bin(x).count("1")`` allocates a string per call in what is usually a
+    per-partition hot loop; ``x.bit_count()`` is a single CPython opcode.
+    """
+
+    name = "bin-popcount"
+    severity = ERROR
+    description = 'bin(x).count("1") instead of int.bit_count()/popcount'
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "count"
+            ):
+                continue
+            receiver = node.func.value
+            if _call_name(receiver) == "bin" or (
+                _call_name(receiver) == "format"
+                and len(receiver.args) == 2  # type: ignore[union-attr]
+            ):
+                yield module.finding(
+                    self,
+                    node,
+                    "string-formatting popcount allocates per call; use "
+                    "mask.bit_count() (repro.core.bitset.popcount)",
+                )
+
+
+class BitsetMaterializationRule(Rule):
+    """No materializing bitsets into Python sets/lists in core/partition.
+
+    Flags ``set(iter_bits(m))`` / ``frozenset(iter_bits(m))`` (the mask
+    already *is* that set), ``len(list(iter_bits(m)))`` / ``len(set_of(m))``
+    (that is ``popcount``), and ``v in set_of(m)`` membership tests (that
+    is ``m >> v & 1``).  ``set_of``/``iter_bits`` remain fine at API
+    boundaries — returning them, yielding from them, or sorting them.
+    """
+
+    name = "bitset-materialization"
+    severity = ERROR
+    description = "bitset materialized into a Python container for set ops"
+    scope = ("repro.core", "repro.partition")
+
+    _MASK_ITERATORS = frozenset({"iter_bits", "set_of"})
+
+    def _is_mask_iteration(self, node: ast.expr) -> bool:
+        return _call_name(node) in self._MASK_ITERATORS
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = _call_name(node)
+                if (
+                    name in {"set", "frozenset"}
+                    and node.args
+                    and self._is_mask_iteration(node.args[0])
+                ):
+                    yield module.finding(
+                        self,
+                        node,
+                        f"{name}(iter_bits(...)) rebuilds the set the mask "
+                        "already encodes; keep the int mask",
+                    )
+                elif name == "len" and node.args:
+                    inner = node.args[0]
+                    if self._is_mask_iteration(inner) or (
+                        _call_name(inner) in {"list", "set", "tuple"}
+                        and inner.args  # type: ignore[union-attr]
+                        and self._is_mask_iteration(inner.args[0])  # type: ignore[union-attr]
+                    ):
+                        yield module.finding(
+                            self,
+                            node,
+                            "len() over a materialized bitset is "
+                            "popcount; use mask.bit_count()",
+                        )
+            elif isinstance(node, ast.Compare):
+                for op, comparator in zip(node.ops, node.comparators):
+                    if isinstance(op, (ast.In, ast.NotIn)) and (
+                        self._is_mask_iteration(comparator)
+                    ):
+                        yield module.finding(
+                            self,
+                            comparator,
+                            "membership in set_of(mask) is a bit test; "
+                            "use mask >> v & 1",
+                        )
+
+
+def _shift_test_uses(node: ast.expr, loop_var: str) -> bool:
+    """True if ``node`` contains the ``mask >> v & 1`` bit-probe pattern."""
+    for sub in ast.walk(node):
+        if not (isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.BitAnd)):
+            continue
+        shift = sub.left if isinstance(sub.left, ast.BinOp) else sub.right
+        if not (isinstance(shift, ast.BinOp) and isinstance(shift.op, ast.RShift)):
+            continue
+        if isinstance(shift.right, ast.Name) and shift.right.id == loop_var:
+            return True
+    return False
+
+
+class PerBitLoopRule(Rule):
+    """Prefer ``iter_bits(mask)`` over ``range(n)`` + per-index bit probes.
+
+    A ``for v in range(n)`` loop whose body is guarded by
+    ``mask >> v & 1`` visits all ``n`` indices to find ``popcount(mask)``
+    members; ``for v in iter_bits(mask)`` visits exactly the members in
+    the same increasing order.  Warning severity: the pattern is
+    legitimate when the loop really needs every index.
+    """
+
+    name = "per-bit-loop"
+    severity = WARNING
+    description = "range(n) loop probing mask >> v & 1; use iter_bits(mask)"
+    scope = ("repro.core", "repro.partition", "repro.memo", "repro.enumerator")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.For)
+                and isinstance(node.target, ast.Name)
+                and _call_name(node.iter) == "range"
+            ):
+                continue
+            first = node.body[0]
+            if isinstance(first, ast.If) and _shift_test_uses(
+                first.test, node.target.id
+            ):
+                yield module.finding(
+                    self,
+                    node,
+                    "loop probes each index with mask >> v & 1; "
+                    "iterate members directly with iter_bits(mask)",
+                )
+        # comprehensions with an `if mask >> v & 1` filter over range(n)
+        for node in ast.walk(module.tree):
+            if not isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+            ):
+                continue
+            for generator in node.generators:
+                if (
+                    isinstance(generator.target, ast.Name)
+                    and _call_name(generator.iter) == "range"
+                    and any(
+                        _shift_test_uses(cond, generator.target.id)
+                        for cond in generator.ifs
+                    )
+                ):
+                    yield module.finding(
+                        self,
+                        generator.iter,
+                        "comprehension filters range(n) with mask >> v & 1; "
+                        "iterate members directly with iter_bits(mask)",
+                    )

@@ -28,9 +28,10 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Hashable, Optional
+from typing import TYPE_CHECKING, Hashable, Optional, cast
 
 from repro.analysis.metrics import Metrics
+from repro.core.bitset import iter_bits
 from repro.cache.coldtier import ColdTier
 from repro.cache.costing import CostProfile, logical_cost_proxy
 from repro.cache.policies import POLICY_NAMES, make_policy
@@ -38,7 +39,14 @@ from repro.cache.stats import CacheStats
 from repro.catalog.query import Query
 from repro.plans.physical import Plan
 
+if TYPE_CHECKING:
+    from repro.obs.registry import Counter, Histogram, MetricsRegistry
+
 __all__ = ["MemoEntry", "MemoTable", "GlobalPlanCache", "canonical_expression_key"]
+
+#: ``(subset, order, plan_wire, lower_bound)`` — the pickle-safe cell format
+#: shipped between processes; see :meth:`MemoTable.export_entries`.
+WireEntry = tuple[int, Optional[int], Optional[tuple[object, ...]], Optional[float]]
 
 
 @dataclass
@@ -120,11 +128,11 @@ class MemoTable:
         self._track_weights = capacity is not None and capacity > 0 and (
             self._policy.uses_weights or self._cold is not None
         )
-        self._h_occupancy = None
-        self._c_evictions = None
-        self._c_demotions = None
-        self._c_cold_hits = None
-        self._c_shared_hits = None
+        self._h_occupancy: Histogram | None = None
+        self._c_evictions: Counter | None = None
+        self._c_demotions: Counter | None = None
+        self._c_cold_hits: Counter | None = None
+        self._c_shared_hits: Counter | None = None
 
     @property
     def policy(self) -> str:
@@ -146,14 +154,14 @@ class MemoTable:
         """
         return self._track_weights and self._policy.uses_weights
 
-    def attach_registry(self, registry) -> None:
+    def attach_registry(self, registry: "MetricsRegistry") -> None:
         """Feed occupancy-over-time and eviction telemetry into ``registry``.
 
-        ``registry`` is a :class:`~repro.obs.registry.MetricsRegistry`
-        (typed loosely to keep this module import-light).  Every store
-        observes the populated-cell count, giving the occupancy series of
-        the Figures 21–30 storage experiments; eviction/demotion/tier-hit
-        counters complete the memory-hierarchy picture.
+        Every store observes the populated-cell count, giving the occupancy
+        series of the Figures 21–30 storage experiments;
+        eviction/demotion/tier-hit counters complete the memory-hierarchy
+        picture.  (The registry import stays lazy so the module is
+        import-light; the *type* is only needed when type checking.)
         """
         from repro.obs.registry import (
             MEMO_COLD_HITS,
@@ -349,10 +357,11 @@ class MemoTable:
     def _store(
         self, key: Hashable, entry: MemoEntry, weight: float | None = None
     ) -> None:
-        if self.capacity == 0:
+        capacity = self.capacity
+        if capacity == 0:
             return
         cells = self._cells
-        bounded = self.capacity is not None
+        bounded = capacity is not None
         if self._track_weights:
             self._weights[key] = 1.0 if weight is None else weight
         if key in cells:
@@ -360,7 +369,7 @@ class MemoTable:
             if bounded:
                 self._policy.on_store(cells, key)
         else:
-            if bounded and len(cells) >= self.capacity:
+            if capacity is not None and len(cells) >= capacity:
                 self._evict_one()
             cells[key] = entry
             if bounded:
@@ -380,7 +389,7 @@ class MemoTable:
 
     def export_entries(
         self, exclude: "set[Hashable] | None" = None
-    ) -> list[tuple[int, Optional[int], Optional[tuple], Optional[float]]]:
+    ) -> list[WireEntry]:
         """Serialize populated cells as pickle-safe wire tuples.
 
         Each entry is ``(subset, order, plan_wire, lower_bound)`` where
@@ -393,11 +402,11 @@ class MemoTable:
         Only meaningful for memos keyed by ``(subset, order)``;
         :class:`GlobalPlanCache` overrides this to reject export.
         """
-        entries = []
+        entries: list[WireEntry] = []
         for key, entry in self._cells.items():
             if exclude is not None and key in exclude:
                 continue
-            subset, order = key
+            subset, order = cast("tuple[int, Optional[int]]", key)
             entries.append(
                 (
                     subset,
@@ -408,11 +417,7 @@ class MemoTable:
             )
         return entries
 
-    def import_entries(
-        self,
-        query: Query,
-        entries: list[tuple[int, Optional[int], Optional[tuple], Optional[float]]],
-    ) -> int:
+    def import_entries(self, query: Query, entries: list[WireEntry]) -> int:
         """Fold wire entries (see :meth:`export_entries`) into this memo.
 
         Deterministic conflict policy: an existing *plan* cell always wins
@@ -458,9 +463,9 @@ class MemoTable:
         """Entries currently resident in the cold tier."""
         return 0 if self._cold is None else len(self._cold)
 
-    def summary(self) -> dict:
+    def summary(self) -> dict[str, object]:
         """The ``memo`` block of ``repro optimize --json``."""
-        result = {
+        result: dict[str, object] = {
             "policy": self.policy,
             "capacity": self.capacity,
             "cold_capacity": self.cold_capacity,
@@ -495,12 +500,11 @@ def canonical_expression_key(
     maps to the same cell.  The order token is translated to the relation
     name it refers to.
     """
-    names = []
-    for v in range(query.n):
-        if subset >> v & 1:
-            r = query.relations[v]
-            names.append((r.name, r.cardinality, r.tuples_per_page))
-    predicates = []
+    names: list[tuple[str, float, int]] = []
+    for v in iter_bits(subset):
+        r = query.relations[v]
+        names.append((r.name, r.cardinality, r.tuples_per_page))
+    predicates: list[tuple[str, str, float]] = []
     for (u, v), sel in query.selectivity.items():
         if subset >> u & 1 and subset >> v & 1:
             a, b = query.relations[u].name, query.relations[v].name
@@ -551,7 +555,9 @@ class GlobalPlanCache(MemoTable):
         """Key by canonical logical expression (relation names + predicates)."""
         return canonical_expression_key(query, subset, order)
 
-    def export_entries(self, exclude=None):
+    def export_entries(
+        self, exclude: "set[Hashable] | None" = None
+    ) -> list[WireEntry]:
         """Cross-query cells are not ``(subset, order)``-keyed; refuse export."""
         raise TypeError(
             "GlobalPlanCache entries are keyed by canonical expression and "
@@ -571,7 +577,7 @@ class GlobalPlanCache(MemoTable):
         """Store a plan along with the writer's name -> vertex mapping."""
         key = self.key_for(query, subset, order)
         self._name_maps[key] = {
-            query.relations[v].name: v for v in range(query.n) if subset >> v & 1
+            query.relations[v].name: v for v in iter_bits(subset)
         }
         weight = None
         if self._track_weights:
@@ -601,9 +607,7 @@ class GlobalPlanCache(MemoTable):
 
     # -- cross-query projection (repro.parallel seeding) ------------------------
 
-    def export_for_query(
-        self, query: Query
-    ) -> list[tuple[int, Optional[int], Optional[tuple], Optional[float]]]:
+    def export_for_query(self, query: Query) -> list[WireEntry]:
         """Project every applicable plan onto ``query``'s wire format.
 
         A cached plan applies iff all its relations exist in ``query``
@@ -615,14 +619,14 @@ class GlobalPlanCache(MemoTable):
         deterministic regardless of cache insertion history.
         """
         name_to_vertex = {query.relations[v].name: v for v in range(query.n)}
-        entries = []
+        entries: list[WireEntry] = []
         for key, entry in self._cells.items():
             if not entry.has_plan:
                 continue
             plan = self.plan_for_query(query, entry)
             if plan is None:
                 continue
-            order_name = key[2]
+            order_name = cast("tuple[object, object, Optional[str]]", key)[2]
             if order_name is None:
                 order = None
             else:
@@ -647,7 +651,7 @@ class GlobalPlanCache(MemoTable):
             raise TypeError("absorb_memo expects a per-query (subset, order) memo")
         added = 0
         for key in memo.keys():
-            subset, order = key
+            subset, order = cast("tuple[int, Optional[int]]", key)
             entry = memo.peek(query, subset, order)
             if entry is None or not entry.has_plan:
                 continue

@@ -10,6 +10,7 @@ key" — see :mod:`repro.cost.io_model`).
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -73,7 +74,7 @@ class Plan:
             names.extend(child.leaf_relations())
         return names
 
-    def iter_nodes(self):
+    def iter_nodes(self) -> Iterator["Plan"]:
         """Yield every node of the tree, pre-order."""
         yield self
         for child in self.children:

@@ -456,6 +456,9 @@ def make_optimizer(
             raise ValueError(
                 f"{name!r}: parallel execution requires a top-down algorithm"
             )
+        # lint: disable=import-layering -- documented inversion: the "@N"
+        # suffix names a parallel run, so the factory must construct the
+        # runtime one layer above it; lazy keeps import time acyclic.
         from repro.parallel.scheduler import ParallelEnumerator
 
         return ParallelEnumerator(

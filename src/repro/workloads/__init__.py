@@ -17,6 +17,7 @@ from repro.workloads.topologies import (
 )
 from repro.workloads.random_graphs import random_connected_graph
 from repro.workloads.seeding import DEFAULT_SEED, coerce_rng
+from repro.workloads.skewed import PROFILES, skewed_query, skewed_workload
 from repro.workloads.weights import WeightedWorkload, generate_weights, weighted_query
 
 __all__ = [
@@ -33,4 +34,7 @@ __all__ = [
     "WeightedWorkload",
     "generate_weights",
     "weighted_query",
+    "PROFILES",
+    "skewed_query",
+    "skewed_workload",
 ]

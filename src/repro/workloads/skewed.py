@@ -1,0 +1,200 @@
+"""Skewed weight profiles: beyond the Section 4.3 uniform calibration.
+
+The paper's weighted workloads (:mod:`repro.workloads.weights`) draw every
+cardinality exponent from one Gaussian and split the result-exponent
+budget evenly across edges — the *worst case for pruning*, but also a
+single point in distribution space.  Real catalogs are lumpier, and the
+fuzzer (:mod:`repro.conformance.fuzz`) should exercise the estimator and
+the bounding logic away from that point.  This module adds two skewed
+profiles behind one dispatch surface:
+
+``uniform``
+    The paper's calibration, unchanged (delegates to
+    :func:`~repro.workloads.weights.generate_weights`).
+
+``bimodal-selectivity``
+    Each edge is either *weak* (selectivity near 1 — an almost-cross
+    join) or *strong* (carrying the rest of the back-solved budget).
+    Joins therefore alternate between exploding and collapsing, which is
+    exactly the cost-variance regime where accumulated-cost bounding and
+    the cost-aware eviction weights behave differently from the uniform
+    case.
+
+``heavy-tail-cardinality``
+    Cardinality exponents follow a shifted Pareto instead of a Gaussian:
+    most relations are small, a few are enormous.  This stresses the
+    log-space cardinality estimator and produces the asymmetric partition
+    costs that make ordering bugs (hash-order iteration, unstable merges)
+    visible.
+
+All draws go through one :class:`random.Random` coerced by
+:func:`~repro.workloads.seeding.coerce_rng`, and every profile draws in a
+fixed, documented order, so a ``(graph, profile, seed)`` triple is a
+complete reproducer.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.catalog.query import Query
+from repro.catalog.stats import Relation
+from repro.core.joingraph import JoinGraph
+from repro.workloads.seeding import coerce_rng
+from repro.workloads.weights import (
+    CARDINALITY_MU,
+    CARDINALITY_SIGMA,
+    EDGE_NOISE_SIGMA,
+    MAX_SELECTIVITY,
+    RESULT_MU,
+    RESULT_SIGMA,
+    WeightedWorkload,
+    generate_weights,
+)
+
+__all__ = ["PROFILES", "skewed_query", "skewed_workload"]
+
+#: Every selectable weight profile, in documentation order.
+PROFILES = ("uniform", "bimodal-selectivity", "heavy-tail-cardinality")
+
+#: Probability that an edge lands in the weak (near-cross-join) mode.
+BIMODAL_WEAK_PROBABILITY = 0.5
+
+#: Log10-selectivity of a weak edge: N(mu, sigma), clamped below 0.
+BIMODAL_WEAK_MU = -0.05
+BIMODAL_WEAK_SIGMA = 0.05
+
+#: Shape of the heavy-tail exponent distribution.  alpha = 1.2 gives an
+#: infinite-variance tail; the cap keeps 10**x finite in the estimator's
+#: pre-log arithmetic.
+HEAVY_TAIL_ALPHA = 1.2
+HEAVY_TAIL_BASE = 1.0
+HEAVY_TAIL_SCALE = 2.0
+HEAVY_TAIL_MAX_EXPONENT = 12.0
+
+#: Selectivity floor shared with the uniform generator.
+MIN_SELECTIVITY = 1e-12
+
+
+def _solved_selectivities(
+    graph: JoinGraph,
+    exponents: list[float],
+    rng: random.Random,
+) -> tuple[dict[tuple[int, int], float], float]:
+    """Back-solve per-edge selectivities toward a drawn result exponent.
+
+    Same calibration as the uniform generator: draw the target final
+    exponent ``Y ~ N(RESULT_MU, RESULT_SIGMA)``, spread the required total
+    log-selectivity evenly with per-edge noise.  Draw order: target first,
+    then one noise draw per edge in sorted edge order.
+    """
+    selectivity: dict[tuple[int, int], float] = {}
+    target_y = rng.gauss(RESULT_MU, RESULT_SIGMA)
+    edge_count = graph.edge_count()
+    if edge_count:
+        total_log_sel = target_y - sum(exponents)
+        per_edge = total_log_sel / edge_count
+        for e in graph.edges:
+            log_sel = per_edge + rng.gauss(0.0, EDGE_NOISE_SIGMA)
+            sel = min(MAX_SELECTIVITY, 10.0**log_sel)
+            selectivity[(e.u, e.v)] = max(sel, MIN_SELECTIVITY)
+    return selectivity, target_y
+
+
+def _bimodal_selectivity(
+    graph: JoinGraph,
+    exponents: list[float],
+    rng: random.Random,
+) -> tuple[dict[tuple[int, int], float], float]:
+    """Split edges into weak/strong modes around the back-solved budget.
+
+    Draw order: target exponent, then per edge (sorted order) one mode
+    coin and one weak-mode noise draw, then one noise draw per strong
+    edge.  Weak edges take their selectivity from a near-1 Gaussian; the
+    remaining log-selectivity budget is split across the strong edges, so
+    the expected final cardinality still tracks the drawn target.
+    """
+    target_y = rng.gauss(RESULT_MU, RESULT_SIGMA)
+    edges = list(graph.edges)
+    if not edges:
+        return {}, target_y
+    total_log_sel = target_y - sum(exponents)
+    weak_log: dict[tuple[int, int], float] = {}
+    for e in edges:
+        is_weak = rng.random() < BIMODAL_WEAK_PROBABILITY
+        noise = rng.gauss(BIMODAL_WEAK_MU, BIMODAL_WEAK_SIGMA)
+        if is_weak:
+            weak_log[(e.u, e.v)] = min(0.0, noise)
+    # Ensure at least one strong edge carries the budget when the target
+    # demands more reduction than near-1 selectivities can provide.
+    strong = [(e.u, e.v) for e in edges if (e.u, e.v) not in weak_log]
+    if not strong and total_log_sel < sum(weak_log.values()):
+        first = (edges[0].u, edges[0].v)
+        del weak_log[first]
+        strong = [first]
+    selectivity: dict[tuple[int, int], float] = {}
+    for key, log_sel in weak_log.items():
+        selectivity[key] = max(min(MAX_SELECTIVITY, 10.0**log_sel), MIN_SELECTIVITY)
+    if strong:
+        remaining = total_log_sel - sum(weak_log.values())
+        per_strong = remaining / len(strong)
+        for key in strong:
+            log_sel = per_strong + rng.gauss(0.0, EDGE_NOISE_SIGMA)
+            selectivity[key] = max(
+                min(MAX_SELECTIVITY, 10.0**log_sel), MIN_SELECTIVITY
+            )
+    return selectivity, target_y
+
+
+def _heavy_tail_exponents(n: int, rng: random.Random) -> list[float]:
+    """Shifted-Pareto cardinality exponents: many small, a few enormous."""
+    exponents = []
+    for _ in range(n):
+        draw = HEAVY_TAIL_BASE + HEAVY_TAIL_SCALE * (
+            rng.paretovariate(HEAVY_TAIL_ALPHA) - 1.0
+        )
+        exponents.append(min(HEAVY_TAIL_MAX_EXPONENT, max(0.0, draw)))
+    return exponents
+
+
+def skewed_workload(
+    graph: JoinGraph,
+    profile: str = "uniform",
+    rng: random.Random | int | None = None,
+) -> WeightedWorkload:
+    """Generate a weighted workload for ``graph`` under ``profile``.
+
+    ``profile`` is one of :data:`PROFILES`; ``"uniform"`` reproduces
+    :func:`~repro.workloads.weights.generate_weights` exactly (same draws
+    from the same rng state).
+    """
+    if profile not in PROFILES:
+        raise ValueError(f"unknown profile {profile!r}; use one of {PROFILES}")
+    if profile == "uniform":
+        return generate_weights(graph, rng)
+    rng = coerce_rng(rng)
+    if profile == "heavy-tail-cardinality":
+        exponents = _heavy_tail_exponents(graph.n, rng)
+        selectivity, target_y = _solved_selectivities(graph, exponents, rng)
+    else:  # bimodal-selectivity
+        exponents = [
+            max(0.0, rng.gauss(CARDINALITY_MU, CARDINALITY_SIGMA))
+            for _ in range(graph.n)
+        ]
+        selectivity, target_y = _bimodal_selectivity(graph, exponents, rng)
+    relations = [Relation(f"R{i}", 10.0**x) for i, x in enumerate(exponents)]
+    query = Query(graph, relations, selectivity)
+    return WeightedWorkload(
+        query=query,
+        cardinality_exponents=tuple(exponents),
+        result_exponent_target=target_y,
+    )
+
+
+def skewed_query(
+    graph: JoinGraph,
+    profile: str = "uniform",
+    rng: random.Random | int | None = None,
+) -> Query:
+    """Convenience wrapper returning only the query."""
+    return skewed_workload(graph, profile, rng).query

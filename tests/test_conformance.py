@@ -169,7 +169,8 @@ class TestFuzz:
 
         fuzz_module = importlib.import_module("repro.conformance.fuzz")
 
-        def broken_check(graph, query_seed, invariants, matrix, oracle_max_n):
+        def broken_check(graph, query_seed, invariants, matrix, oracle_max_n,
+                         profile="uniform"):
             return check_partition_completeness(graph, [_BrokenMinCut()])
 
         monkeypatch.setattr(fuzz_module, "_check_graph", broken_check)

@@ -1,0 +1,151 @@
+"""Tests for the skewed weight profiles and their fuzzer integration.
+
+The contract: ``uniform`` reproduces the paper's Section 4.3 calibration
+bit-for-bit, every profile is deterministic from ``(graph, profile,
+seed)``, the skewed profiles actually skew, and the conformance fuzzer
+threads profiles through case generation, corpus entries, and replay
+without perturbing the pre-profile random streams.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.conformance.fuzz import corpus_entry, generate_cases, replay_corpus
+from repro.workloads import (
+    PROFILES,
+    clique,
+    random_connected_graph,
+    skewed_query,
+    skewed_workload,
+)
+from repro.workloads.skewed import HEAVY_TAIL_MAX_EXPONENT
+from repro.workloads.weights import generate_weights
+
+
+class TestProfiles:
+    def test_catalog(self):
+        assert PROFILES == (
+            "uniform", "bimodal-selectivity", "heavy-tail-cardinality"
+        )
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown profile"):
+            skewed_workload(clique(4), "zipf")
+
+    def test_uniform_matches_paper_calibration_exactly(self):
+        """Same seed, same draws: ``uniform`` must be byte-identical to
+        generate_weights, so pre-profile reproducers stay valid."""
+        g = random_connected_graph(7, 0.4, 11)
+        ours = skewed_workload(g, "uniform", 99)
+        paper = generate_weights(g, 99)
+        assert ours.cardinality_exponents == paper.cardinality_exponents
+        assert ours.query.selectivity == paper.query.selectivity
+
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_determinism(self, profile):
+        g = clique(6)
+        a = skewed_workload(g, profile, 42)
+        b = skewed_workload(g, profile, 42)
+        assert a.cardinality_exponents == b.cardinality_exponents
+        assert a.query.selectivity == b.query.selectivity
+
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_weights_are_valid(self, profile):
+        for seed in range(10):
+            q = skewed_query(random_connected_graph(8, 0.5, seed), profile, seed)
+            assert all(0.0 < s < 1.0 for s in q.selectivity.values())
+            assert all(r.cardinality >= 1.0 for r in q.relations)
+            assert set(q.selectivity) == {(e.u, e.v) for e in q.graph.edges}
+
+    def test_bimodal_produces_weak_and_strong_edges(self):
+        """Across seeds, a meaningful share of edges sits near selectivity
+        1 (the weak mode) and a meaningful share well below it."""
+        weak = strong = total = 0
+        for seed in range(30):
+            q = skewed_query(clique(8), "bimodal-selectivity", seed)
+            for s in q.selectivity.values():
+                total += 1
+                if s > 0.5:
+                    weak += 1
+                elif s < 1e-2:
+                    strong += 1
+        assert 0.25 < weak / total < 0.75
+        assert strong / total > 0.10
+
+    def test_heavy_tail_spreads_exponents(self):
+        """Shifted Pareto: most relations small, a few enormous, all capped."""
+        exponents = []
+        for seed in range(40):
+            w = skewed_workload(clique(8), "heavy-tail-cardinality", seed)
+            exponents.extend(w.cardinality_exponents)
+        assert all(0.0 <= x <= HEAVY_TAIL_MAX_EXPONENT for x in exponents)
+        assert max(exponents) > 6.0  # the tail shows up
+        median = sorted(exponents)[len(exponents) // 2]
+        assert median < 4.0  # but most mass stays small
+
+    def test_intermediate_cardinalities_finite(self):
+        for profile in PROFILES:
+            q = skewed_query(random_connected_graph(8, 0.4, 3), profile, 3)
+            full = q.cardinality(q.graph.all_vertices)
+            assert math.isfinite(full) and full >= 0.0
+
+
+class TestFuzzIntegration:
+    def test_cases_carry_profiles(self):
+        cases = generate_cases(60, seed=5)
+        assert {c.profile for c in cases} == set(PROFILES)
+        assert all(c.profile in PROFILES for c in cases)
+
+    def test_profile_pool_does_not_perturb_other_draws(self):
+        """Restricting the pool must leave graph/seed streams untouched —
+        the fixed-width profile draw is the whole point."""
+        full = generate_cases(20, seed=5)
+        restricted = generate_cases(20, seed=5, profiles=("uniform",))
+        for a, b in zip(full, restricted):
+            assert (a.n, a.cyclicity, a.graph_seed, a.query_seed) == (
+                b.n, b.cyclicity, b.graph_seed, b.query_seed
+            )
+        assert all(c.profile == "uniform" for c in restricted)
+
+    def test_bad_profile_pool_rejected(self):
+        with pytest.raises(ValueError, match="unknown profiles"):
+            generate_cases(5, seed=1, profiles=("zipf",))
+        with pytest.raises(ValueError, match="non-empty"):
+            generate_cases(5, seed=1, profiles=())
+
+    def test_corpus_entry_records_profile(self):
+        g = random_connected_graph(4, 0.0, 1)
+        entry = corpus_entry(g, 7, [], "test", profile="bimodal-selectivity")
+        assert entry["profile"] == "bimodal-selectivity"
+
+    def test_replay_defaults_missing_profile_to_uniform(self, tmp_path):
+        """Entries written before profiles existed have no ``profile`` key
+        and must replay under the uniform calibration."""
+        g = random_connected_graph(4, 0.0, 1)
+        entry = corpus_entry(
+            g, 7, [], "test", invariants=("partition-complete",)
+        )
+        del entry["profile"]
+        (tmp_path / "legacy.json").write_text(json.dumps(entry))
+        assert replay_corpus(str(tmp_path)) == []
+
+
+class TestVerifyCliProfiles:
+    def test_unknown_profile_exits_two(self, capsys):
+        assert cli_main(["verify", "--fuzz", "1", "--profile", "zipf"]) == 2
+        assert "unknown profile" in capsys.readouterr().err
+
+    def test_fuzz_with_profile_runs_clean(self, capsys):
+        code = cli_main(
+            [
+                "verify", "--invariant", "partition-complete",
+                "--fuzz", "3", "--profile", "heavy-tail-cardinality",
+                "--json",
+            ]
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert report["fuzz"]["cases"] == 3
