@@ -23,7 +23,8 @@ from repro.registry import make_optimizer
 from repro.workloads import clique, star
 from repro.workloads.weights import weighted_query
 
-from benchmarks.conftest import print_result, write_bench_json
+from benchmarks.bench_io import write_bench_json
+from benchmarks.conftest import print_result
 
 N = 8
 SEED = 31

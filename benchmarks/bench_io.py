@@ -1,0 +1,53 @@
+"""Benchmark artifact I/O: the one writer for ``BENCH_*.json`` files.
+
+Every benchmark module that emits a machine-readable artifact goes
+through :func:`write_bench_json`, which owns the three conventions CI
+relies on:
+
+* the output directory is the current working directory unless
+  ``REPRO_BENCH_DIR`` points at an artifact folder (created on demand);
+* keys are sorted and the file ends with a newline, so diffs between
+  runs are meaningful;
+* every payload carries ``schema_version`` (:data:`SCHEMA_VERSION`) so
+  downstream tooling can detect layout changes instead of misparsing.
+
+Version history:
+
+* **1** — initial versioned layout: the previous ad-hoc payloads plus
+  this ``schema_version`` field.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+__all__ = ["SCHEMA_VERSION", "bench_json_path", "write_bench_json"]
+
+#: Current ``BENCH_*.json`` payload schema version.
+SCHEMA_VERSION = 1
+
+
+def bench_json_path(name: str) -> str:
+    """Where ``write_bench_json(name, ...)`` will write, honoring env."""
+    directory = os.environ.get("REPRO_BENCH_DIR", ".")
+    return os.path.join(directory, f"BENCH_{name}.json")
+
+
+def write_bench_json(name: str, payload: dict[str, Any]) -> str:
+    """Write benchmark artifact ``BENCH_<name>.json``; returns its path.
+
+    ``payload`` is not mutated: ``schema_version`` is injected into a
+    shallow copy (an explicit ``schema_version`` in the payload wins, so
+    a future migration can pin an older layout deliberately).
+    """
+    document = {"schema_version": SCHEMA_VERSION, **payload}
+    path = bench_json_path(name)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

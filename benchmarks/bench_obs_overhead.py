@@ -79,7 +79,7 @@ def test_emit_obs_overhead_json():
     """Machine-readable overhead comparison -> BENCH_obs_overhead.json."""
     import json
 
-    from benchmarks.conftest import write_bench_json
+    from benchmarks.bench_io import write_bench_json
 
     query = QUERIES["clique8"]
     _median_run_seconds(query, 1)  # warm caches

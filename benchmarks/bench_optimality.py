@@ -15,7 +15,7 @@ from repro.conformance.optimality import (
     measure_optimality,
 )
 
-from benchmarks.conftest import write_bench_json
+from benchmarks.bench_io import write_bench_json
 
 
 def test_emit_optimality_json(scale):

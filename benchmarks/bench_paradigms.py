@@ -101,7 +101,7 @@ def test_emit_paradigms_json():
 
     from repro.obs.timing import clock
 
-    from benchmarks.conftest import write_bench_json
+    from benchmarks.bench_io import write_bench_json
 
     results = {}
     for paradigm in PARADIGMS:

@@ -27,7 +27,7 @@ from repro.registry import make_optimizer
 from repro.workloads import chain, clique, random_connected_graph, star
 from repro.workloads.weights import weighted_query
 
-from benchmarks.conftest import write_bench_json
+from benchmarks.bench_io import write_bench_json
 
 WORKER_COUNTS = (1, 2, 4)
 

@@ -25,32 +25,17 @@ Two kinds of entries per module:
 
 from __future__ import annotations
 
-import json
-import os
-
 import pytest
+
+from benchmarks.bench_io import write_bench_json
+
+__all__ = ["print_result", "write_bench_json"]
 
 
 def print_result(result) -> None:
     """Render an ExperimentResult to the captured stdout."""
     print()
     print(result.render())
-
-
-def write_bench_json(name: str, payload: dict) -> str:
-    """Write a machine-readable benchmark artifact ``BENCH_<name>.json``.
-
-    The output directory defaults to the current working directory and is
-    overridable with ``REPRO_BENCH_DIR`` (CI points it at an artifact
-    folder).  Keys are sorted so diffs between runs are meaningful.
-    """
-    directory = os.environ.get("REPRO_BENCH_DIR", ".")
-    os.makedirs(directory, exist_ok=True)
-    path = os.path.join(directory, f"BENCH_{name}.json")
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    return path
 
 
 @pytest.fixture(scope="session")

@@ -5,6 +5,8 @@ Subcommands::
     repro list-algorithms                      # registry contents
     repro optimize --topology star --n 8 ...   # optimize one query
     repro trace --algorithm mincutlazy ...     # traced run + recursion tree
+    repro profile --flamegraph-out out.folded  # kernel-level profiler run
+    repro explain --phases TBNmcP,TBCnaiveP    # bounding ledger / phase diff
     repro profile-memo --out prof.json ...     # trace -> memo cost profile
     repro experiment fig9 [--scale paper]      # regenerate a figure/table
     repro experiment all [--scale small]       # everything (EXPERIMENTS.md)
@@ -13,12 +15,21 @@ Subcommands::
 
 ``optimize`` accepts ``--json`` (machine-readable result),
 ``--trace-out PATH`` (JSONL span dump, one span per memoized expression
-explored), and the ``--memo-*`` family bounding the memo (Section 5.1:
-``--memo-capacity`` cells, ``--memo-policy`` eviction, cold demotion
-tier, offline profile); ``trace`` prints the recursion tree of
-``docs/observability.md``; ``profile-memo`` distills a traced run (or an
-existing trace file) into the per-expression recompute weights that
+explored), ``--profile-out PATH`` (kernel profiler report JSON), and the
+``--memo-*`` family bounding the memo (Section 5.1: ``--memo-capacity``
+cells, ``--memo-policy`` eviction, cold demotion tier, offline profile);
+``trace`` prints the recursion tree of ``docs/observability.md``;
+``profile`` attributes exclusive wall time to named kernels and exports
+collapsed-stack flamegraphs (``docs/profiling.md``); ``explain``
+reconstructs the per-expression bounding ledger from a live or dumped
+trace, or — with ``--phases`` — diffs the last two phases of a
+multiphase run; ``profile-memo`` distills a traced run (or an existing
+trace file) into the per-expression recompute weights that
 ``--memo-policy profile`` consumes.
+
+Every ``--*-out PATH`` option creates missing parent directories up
+front, before the (possibly long) optimization runs, and fails fast with
+exit status 2 when it cannot.
 """
 
 from __future__ import annotations
@@ -32,8 +43,13 @@ from repro.analysis.metrics import Metrics
 from repro.experiments import EXPERIMENTS
 from repro.obs import (
     MetricsRegistry,
+    RecordingProfiler,
     RecordingTracer,
     Stopwatch,
+    bounding_ledger,
+    read_jsonl,
+    render_kernel_table,
+    render_ledger,
     render_summary,
     render_trace_tree,
     write_jsonl,
@@ -44,6 +60,34 @@ from repro.workloads.seeding import DEFAULT_SEED
 from repro.workloads.weights import weighted_query
 
 __all__ = ["main"]
+
+
+def _prepare_out_path(path: str) -> str | None:
+    """Create ``path``'s parent directory; returns an error message on failure.
+
+    Called before optimization for every ``--*-out`` option so a typo'd
+    directory fails fast instead of discarding a finished run.
+    """
+    parent = os.path.dirname(path)
+    if not parent:
+        return None
+    try:
+        os.makedirs(parent, exist_ok=True)
+    except OSError as exc:
+        return f"cannot create directory {parent!r} for {path!r}: {exc}"
+    return None
+
+
+def _prepare_out_paths(*paths: str | None) -> int | None:
+    """Prepare several output paths; prints and returns 2 on failure."""
+    for path in paths:
+        if not path:
+            continue
+        error = _prepare_out_path(path)
+        if error is not None:
+            print(error, file=sys.stderr)
+            return 2
+    return None
 
 
 def _cmd_list_algorithms(_args: argparse.Namespace) -> int:
@@ -84,10 +128,18 @@ def _load_memo_profile(args: argparse.Namespace):
 
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
+    failure = _prepare_out_paths(
+        getattr(args, "trace_out", None), getattr(args, "profile_out", None)
+    )
+    if failure is not None:
+        return failure
     query = _build_query(args)
     metrics = Metrics()
     tracing = bool(getattr(args, "trace_out", None))
     tracer = RecordingTracer() if tracing else None
+    profiler = (
+        RecordingProfiler() if getattr(args, "profile_out", None) else None
+    )
     registry = MetricsRegistry() if (tracing or args.json) else None
     workers = getattr(args, "workers", 0) or None
     memo_profile, error = _load_memo_profile(args)
@@ -99,6 +151,7 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         metrics=metrics,
         tracer=tracer,
         registry=registry,
+        profiler=profiler,
         workers=workers,
         parallel_policy=getattr(args, "fork_policy", "auto"),
         worker_trace_dir=getattr(args, "worker_trace_dir", None),
@@ -130,6 +183,21 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         except OSError as exc:
             print(f"cannot write trace to {args.trace_out!r}: {exc}", file=sys.stderr)
             return 2
+    profile_report = None
+    if profiler is not None:
+        profile_report = profiler.report(elapsed)
+        profile_report["algorithm"] = args.algorithm
+        profile_report["query"] = query.describe()
+        try:
+            with open(args.profile_out, "w", encoding="utf-8") as handle:
+                json.dump(profile_report, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        except OSError as exc:
+            print(
+                f"cannot write profile to {args.profile_out!r}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
     if args.json:
         payload = {
             "query": query.describe(),
@@ -147,6 +215,11 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
             payload["instruments"] = registry.to_dict()
         if tracer is not None:
             payload["trace"] = {"path": args.trace_out, "spans": span_count}
+        if profile_report is not None:
+            payload["profile"] = {
+                "path": args.profile_out,
+                "kernels": [row["kernel"] for row in profile_report["kernels"]],
+            }
         if parallel_info is not None:
             payload["parallel"] = parallel_info
         print(json.dumps(payload, indent=2))
@@ -174,6 +247,11 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         )
     if tracer is not None:
         print(f"trace: {span_count} spans -> {args.trace_out}")
+    if profile_report is not None:
+        print(
+            f"profile: {len(profile_report['kernels'])} kernels -> "
+            f"{args.profile_out}"
+        )
     if args.metrics:
         print("\ncounters:")
         for key, value in sorted(metrics.as_dict().items()):
@@ -184,6 +262,9 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Optimize under a recording tracer and show the recursion tree."""
+    failure = _prepare_out_paths(args.out)
+    if failure is not None:
+        return failure
     query = _build_query(args)
     metrics = Metrics()
     tracer = RecordingTracer()
@@ -222,6 +303,9 @@ def _cmd_profile_memo(args: argparse.Namespace) -> int:
     """
     from repro.cache.costing import CostProfile
 
+    failure = _prepare_out_paths(args.out)
+    if failure is not None:
+        return failure
     if args.from_trace:
         try:
             profile = CostProfile.from_trace_file(args.from_trace, metric=args.metric)
@@ -250,6 +334,158 @@ def _cmd_profile_memo(args: argparse.Namespace) -> int:
         f"profile: {len(profile)} expressions ({args.metric} metric) "
         f"from {source} -> {args.out}"
     )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Optimize under the kernel profiler; print/export the kernel table.
+
+    Text output is the per-kernel summary (exclusive wall time, calls,
+    deterministic op counts) plus the top-3 kernels' share of end-to-end
+    wall time; ``--flamegraph-out`` writes collapsed-stack text for
+    ``flamegraph.pl``/speedscope, ``--out`` the full report as JSON.
+    """
+    failure = _prepare_out_paths(args.flamegraph_out, args.out)
+    if failure is not None:
+        return failure
+    query = _build_query(args)
+    metrics = Metrics()
+    profiler = RecordingProfiler()
+    optimizer = make_optimizer(
+        args.algorithm, query, metrics=metrics, profiler=profiler
+    )
+    with Stopwatch() as stopwatch:
+        plan = optimizer.optimize()
+    wall = stopwatch.elapsed_total
+    kernels = _split_rule_list(args.kernels)
+    report = profiler.report(wall)
+    report["algorithm"] = args.algorithm
+    report["query"] = query.describe()
+    report["cost"] = plan.cost
+    if kernels is not None:
+        wanted = set(kernels)
+        report["kernels"] = [
+            row for row in report["kernels"] if row["kernel"] in wanted
+        ]
+    if args.flamegraph_out:
+        try:
+            with open(args.flamegraph_out, "w", encoding="utf-8") as handle:
+                handle.write(profiler.collapsed() + "\n")
+        except OSError as exc:
+            print(
+                f"cannot write flamegraph to {args.flamegraph_out!r}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        except OSError as exc:
+            print(f"cannot write report to {args.out!r}: {exc}", file=sys.stderr)
+            return 2
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(f"query: {query.describe()}")
+    print(f"algorithm: {args.algorithm}  ({wall * 1e3:.2f} ms, cost {plan.cost:.6g})")
+    print()
+    print(render_kernel_table(profiler, kernels=kernels))
+    top = report["kernels"][:3]
+    if top and wall > 0:
+        shares = ", ".join(
+            f"{row['kernel']} {row.get('share_of_wall', 0.0) * 100:.1f}%"
+            for row in top
+        )
+        total = sum(row.get("share_of_wall", 0.0) for row in top)
+        print(f"\ntop-3 of wall: {shares}  (together {total * 100:.1f}%)")
+    if args.flamegraph_out:
+        print(f"flamegraph: {len(profiler.stacks)} stacks -> {args.flamegraph_out}")
+    if args.out:
+        print(f"report: -> {args.out}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Reconstruct bounding decisions from a trace, or diff two phases.
+
+    Three sources, checked in order: ``--from-trace`` replays a JSONL
+    span dump; ``--phases A,B,...`` runs a traced multiphase optimization
+    and additionally prints the phase-2-vs-phase-1 subplan diff; plain
+    ``--algorithm`` runs one traced optimization.  Output is the
+    per-expression bounding ledger (budgets in, prunes, bound hits, memo
+    tier hits) of ``docs/profiling.md``.
+    """
+    if args.from_trace:
+        try:
+            roots = read_jsonl(args.from_trace)
+        except (OSError, ValueError, KeyError) as exc:
+            print(
+                f"cannot load trace {args.from_trace!r}: {exc}", file=sys.stderr
+            )
+            return 2
+        ledger = bounding_ledger(roots)
+        if args.json:
+            print(json.dumps([entry.to_dict() for entry in ledger], indent=2))
+        else:
+            print(f"trace: {args.from_trace} ({len(ledger)} expressions)\n")
+            print(render_ledger(ledger, limit=args.limit))
+        return 0
+
+    query = _build_query(args)
+    if args.phases:
+        from repro.multiphase import (
+            explain_phases,
+            optimize_multiphase,
+            render_phase_diff,
+        )
+
+        names = [name.strip() for name in args.phases.split(",") if name.strip()]
+        if len(names) < 2:
+            print(
+                "--phases needs at least two comma-separated algorithm names",
+                file=sys.stderr,
+            )
+            return 2
+        result = optimize_multiphase(query, names, trace=True)
+        decisions = explain_phases(result, query)
+        final_tracer = result.phases[-1].tracer
+        assert final_tracer is not None  # trace=True above
+        ledger = bounding_ledger(final_tracer)
+        if args.json:
+            payload = {
+                "query": query.describe(),
+                "phases": [
+                    {"algorithm": phase.algorithm, "cost": phase.plan.cost}
+                    for phase in result.phases
+                ],
+                "decisions": [decision.to_dict() for decision in decisions],
+                "ledger": [entry.to_dict() for entry in ledger],
+            }
+            print(json.dumps(payload, indent=2))
+            return 0
+        print(f"query: {query.describe()}")
+        for phase in result.phases:
+            print(f"phase {phase.algorithm}: cost {phase.plan.cost:.6g}")
+        print("\nphase diff (every phase-1 subplan):")
+        print(render_phase_diff(decisions, limit=args.limit))
+        print("\nbounding ledger (final phase):")
+        print(render_ledger(ledger, query, limit=args.limit))
+        return 0
+
+    tracer = RecordingTracer()
+    optimizer = make_optimizer(
+        args.algorithm, query, metrics=Metrics(), tracer=tracer
+    )
+    plan = optimizer.optimize()
+    ledger = bounding_ledger(tracer)
+    if args.json:
+        print(json.dumps([entry.to_dict() for entry in ledger], indent=2))
+        return 0
+    print(f"query: {query.describe()}")
+    print(f"algorithm: {args.algorithm}  cost {plan.cost:.6g}\n")
+    print(render_ledger(ledger, query, limit=args.limit))
     return 0
 
 
@@ -470,6 +706,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="record the search as spans and write a JSONL dump to PATH",
     )
     optimize.add_argument(
+        "--profile-out", metavar="PATH",
+        help="run under the kernel profiler and write its report JSON to "
+             "PATH (serial top-down algorithms only)",
+    )
+    optimize.add_argument(
         "--query",
         help="textual query DSL, e.g. 'a(1000) b(500) c(20); a-b:0.01' "
              "(overrides --topology/--n)",
@@ -526,6 +767,70 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--max-depth", type=int, default=None,
         help="truncate the printed tree below this depth",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="attribute exclusive wall time to named kernels (docs/profiling.md)",
+    )
+    profile.add_argument("--algorithm", default="TBNmc")
+    profile.add_argument(
+        "--topology",
+        default="star",
+        choices=["chain", "star", "cycle", "clique", "wheel",
+                 "random-acyclic", "random-cyclic"],
+    )
+    profile.add_argument("--n", type=int, default=10)
+    profile.add_argument("--seed", type=int, default=42)
+    profile.add_argument("--query", help="textual query DSL (overrides --topology)")
+    profile.add_argument(
+        "--kernels", action="append", metavar="KERNEL[,KERNEL...]",
+        help="restrict the printed table to these kernels (repeatable, "
+             "comma-separated; shares stay relative to the full total)",
+    )
+    profile.add_argument(
+        "--flamegraph-out", metavar="PATH",
+        help="write collapsed-stack text (kernel;kernel microseconds) for "
+             "flamegraph.pl / speedscope",
+    )
+    profile.add_argument(
+        "--out", metavar="PATH", help="write the full report as JSON to PATH"
+    )
+    profile.add_argument(
+        "--json", action="store_true",
+        help="print the report as JSON instead of the table",
+    )
+
+    explain = sub.add_parser(
+        "explain",
+        help="per-expression bounding ledger and multiphase plan-decision diff",
+    )
+    explain.add_argument("--algorithm", default="TBNmcAP")
+    explain.add_argument(
+        "--topology",
+        default="star",
+        choices=["chain", "star", "cycle", "clique", "wheel",
+                 "random-acyclic", "random-cyclic"],
+    )
+    explain.add_argument("--n", type=int, default=8)
+    explain.add_argument("--seed", type=int, default=42)
+    explain.add_argument("--query", help="textual query DSL (overrides --topology)")
+    explain.add_argument(
+        "--phases", metavar="A,B[,...]",
+        help="run a traced multiphase optimization over these registry "
+             "names and diff the final two phases (overrides --algorithm)",
+    )
+    explain.add_argument(
+        "--from-trace", metavar="PATH",
+        help="post-process an existing span-trace JSONL instead of running",
+    )
+    explain.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="show at most N ledger/diff rows",
+    )
+    explain.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of tables",
     )
 
     profile_memo = sub.add_parser(
@@ -646,6 +951,8 @@ def main(argv: list[str] | None = None) -> int:
         "list-algorithms": _cmd_list_algorithms,
         "optimize": _cmd_optimize,
         "trace": _cmd_trace,
+        "profile": _cmd_profile,
+        "explain": _cmd_explain,
         "profile-memo": _cmd_profile_memo,
         "run": _cmd_run,
         "experiment": _cmd_experiment,

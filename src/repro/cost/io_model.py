@@ -34,9 +34,16 @@ from dataclasses import dataclass
 
 from repro.catalog.query import Query
 from repro.core.bitset import first_bit
+from repro.obs.profile import KERNEL_COST, KernelProfiler
 from repro.plans.physical import Plan
 
-__all__ = ["CostModel", "external_sort_cost", "DEFAULT_BUFFER_PAGES"]
+__all__ = [
+    "CostModel",
+    "JoinMethod",
+    "ProfiledCostModel",
+    "external_sort_cost",
+    "DEFAULT_BUFFER_PAGES",
+]
 
 #: Buffer pool size (pages) used by the textbook formulas.
 DEFAULT_BUFFER_PAGES = 102
@@ -229,3 +236,92 @@ class CostModel:
         if right & (right - 1):
             bound += query.pages(right)
         return bound
+
+
+#: Public name for the join-operator descriptor (annotation-friendly).
+JoinMethod = _JoinMethod
+
+
+class ProfiledCostModel(CostModel):
+    """Attribute every cost-model call to the ``cost.eval`` kernel.
+
+    A forwarding wrapper the enumerator swaps in when a
+    :class:`~repro.obs.profile.RecordingProfiler` is attached; the
+    wrapped model's internal cross-calls (``build_join`` invoking
+    ``join_operator_cost``) stay inside one frame, so each enumerator
+    call costs exactly one enter/exit pair and one op count.
+    """
+
+    def __init__(self, inner: CostModel, profiler: KernelProfiler) -> None:
+        super().__init__(inner.buffer_pages, inner.indexed_relations)
+        self._inner = inner
+        self._profiler = profiler
+
+    def scan_plans(self, query: Query, subset: int, order: int | None) -> list[Plan]:
+        profiler = self._profiler
+        profiler.enter(KERNEL_COST)
+        try:
+            return self._inner.scan_plans(query, subset, order)
+        finally:
+            profiler.count(KERNEL_COST, "scan_plans")
+            profiler.exit()
+
+    def operator_cost(
+        self, query: Query, method: _JoinMethod, left: int, right: int
+    ) -> float:
+        profiler = self._profiler
+        profiler.enter(KERNEL_COST)
+        try:
+            return self._inner.operator_cost(query, method, left, right)
+        finally:
+            profiler.count(KERNEL_COST, "operator_cost")
+            profiler.exit()
+
+    def join_output_order(
+        self, query: Query, method: _JoinMethod, left: int, right: int
+    ) -> int | None:
+        profiler = self._profiler
+        profiler.enter(KERNEL_COST)
+        try:
+            return self._inner.join_output_order(query, method, left, right)
+        finally:
+            profiler.count(KERNEL_COST, "join_output_order")
+            profiler.exit()
+
+    def build_join(
+        self, query: Query, method: _JoinMethod, left_plan: Plan, right_plan: Plan
+    ) -> Plan:
+        profiler = self._profiler
+        profiler.enter(KERNEL_COST)
+        try:
+            return self._inner.build_join(query, method, left_plan, right_plan)
+        finally:
+            profiler.count(KERNEL_COST, "build_join")
+            profiler.exit()
+
+    def sort_cost(self, query: Query, subset: int) -> float:
+        profiler = self._profiler
+        profiler.enter(KERNEL_COST)
+        try:
+            return self._inner.sort_cost(query, subset)
+        finally:
+            profiler.count(KERNEL_COST, "sort_cost")
+            profiler.exit()
+
+    def build_sort(self, query: Query, child: Plan, order: int) -> Plan:
+        profiler = self._profiler
+        profiler.enter(KERNEL_COST)
+        try:
+            return self._inner.build_sort(query, child, order)
+        finally:
+            profiler.count(KERNEL_COST, "build_sort")
+            profiler.exit()
+
+    def lower_bound(self, query: Query, left: int, right: int) -> float:
+        profiler = self._profiler
+        profiler.enter(KERNEL_COST)
+        try:
+            return self._inner.lower_bound(query, left, right)
+        finally:
+            profiler.count(KERNEL_COST, "lower_bound")
+            profiler.exit()

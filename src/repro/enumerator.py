@@ -26,19 +26,28 @@ run with the empty order.
 from __future__ import annotations
 
 import enum
+from typing import cast
 
 from repro.analysis.metrics import Metrics
 from repro.catalog.query import Query
-from repro.cost.io_model import CostModel
+from repro.cost.io_model import CostModel, JoinMethod, ProfiledCostModel
 from repro.memo import MemoTable
+from repro.obs.profile import (
+    KERNEL_SEARCH,
+    NULL_PROFILER,
+    KernelProfiler,
+    ProfiledMemoCalls,
+    profiled_iter,
+)
 from repro.obs.registry import (
     PARTITIONS_PER_EXPRESSION,
     TIME_BETWEEN_JOINS,
+    Histogram,
     MetricsRegistry,
 )
 from repro.obs.timing import clock
 from repro.obs.tracer import NULL_TRACER, Tracer
-from repro.partition.base import PartitionStrategy
+from repro.partition.base import PartitionStrategy, PlanSpace
 from repro.plans.physical import INFINITY, Plan, plan_cost
 
 __all__ = ["Bounding", "OptimizationError", "TopDownEnumerator"]
@@ -99,6 +108,14 @@ class TopDownEnumerator:
         Optional :class:`~repro.obs.registry.MetricsRegistry` receiving
         the partitions-per-expression and time-between-joins histograms
         and the memo occupancy series.
+    profiler:
+        Optional :class:`~repro.obs.profile.KernelProfiler` attributing
+        exclusive wall time and operation counts to named kernels
+        (``enum.recurse``, the partition strategy's kernel, ``memo.table``,
+        ``cost.eval``; see :mod:`repro.obs.profile`).  Defaults to the
+        zero-overhead :data:`~repro.obs.profile.NULL_PROFILER`; when
+        enabled, the memo and cost model are wrapped once here so the hot
+        path pays no per-call branching beyond the wrappers themselves.
     """
 
     def __init__(
@@ -112,6 +129,7 @@ class TopDownEnumerator:
         metrics: Metrics | None = None,
         tracer: Tracer | None = None,
         registry: MetricsRegistry | None = None,
+        profiler: KernelProfiler | None = None,
     ) -> None:
         self.query = query
         self.partition = partition
@@ -125,14 +143,31 @@ class TopDownEnumerator:
         self._tracing = self.tracer.enabled
         self.tracer.bind_metrics(self.metrics)
         self.partition.tracer = self.tracer
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
+        self._profiling = self.profiler.enabled
+        self.partition.profiler = self.profiler
+        # The hot-path views of the memo and cost model: identical to the
+        # raw objects unless profiling, in which case per-call kernel
+        # attribution is baked into wrappers once, here, instead of being
+        # branched on in every recursion step.
+        self._memo_hot: MemoTable
+        self._cost_hot: CostModel
+        if self._profiling:
+            self._memo_hot = cast(
+                MemoTable, ProfiledMemoCalls(self.memo, self.profiler)
+            )
+            self._cost_hot = ProfiledCostModel(self.cost_model, self.profiler)
+            self.memo.attach_profiler(self.profiler)
+        else:
+            self._memo_hot = self.memo
+            self._cost_hot = self.cost_model
         self.registry = registry
+        self._h_partitions: Histogram | None = None
+        self._h_join_gap: Histogram | None = None
         if registry is not None:
             self._h_partitions = registry.histogram(PARTITIONS_PER_EXPRESSION)
             self._h_join_gap = registry.histogram(TIME_BETWEEN_JOINS)
             self.memo.attach_registry(registry)
-        else:
-            self._h_partitions = None
-            self._h_join_gap = None
         self._last_join_at: float | None = None
         # Exclusive per-expression compute clock: only worth its clock()
         # calls when tracing is already paying for spans AND the memo's
@@ -141,7 +176,7 @@ class TopDownEnumerator:
         self._compute_stack: list[float] = []
 
     @property
-    def space(self):
+    def space(self) -> PlanSpace:
         """The plan space searched (delegated to the partition strategy)."""
         return self.partition.space
 
@@ -160,13 +195,26 @@ class TopDownEnumerator:
         bounding its cost becomes the root budget; with predicted bounding
         it is the root's initial upper bound.  The result is never worse
         than ``initial_plan``.
+
+        When profiling, the whole search runs under one ``enum.recurse``
+        frame, so that kernel's exclusive time is exactly the recursion
+        glue left over once partition/memo/cost frames are subtracted.
         """
+        if self._profiling:
+            self.profiler.enter(KERNEL_SEARCH)
+        try:
+            return self._optimize(order, initial_plan)
+        finally:
+            if self._profiling:
+                self.profiler.exit()
+
+    def _optimize(self, order: int | None, initial_plan: Plan | None) -> Plan:
         subset = self.query.graph.all_vertices
         if Bounding.ACCUMULATED in self.bounding:
-            budget = plan_cost(initial_plan)
-            plan = self._get_best_budgeted(subset, order, budget, seed=initial_plan)
-            if plan is None:
-                plan = initial_plan
+            budgeted = self._get_best_budgeted(
+                subset, order, plan_cost(initial_plan), seed=initial_plan
+            )
+            plan = budgeted if budgeted is not None else initial_plan
             if plan is None:
                 raise OptimizationError("no plan found within the cost budget")
             return plan
@@ -222,19 +270,20 @@ class TopDownEnumerator:
         """GetBestPlan: memo lookup, then scan or join calculation."""
         metrics = self.metrics
         metrics.memo_lookups += 1
-        entry = self.memo.get(self.query, subset, order)
+        entry = self._memo_hot.get(self.query, subset, order)
         if entry is not None and entry.has_plan:
-            plan = self.memo.plan_for_query(self.query, entry)
+            plan = self._memo_hot.plan_for_query(self.query, entry)
             if plan is not None:
                 metrics.memo_hits += 1
                 if self._tracing:
                     self.tracer.memo_hit(subset, order)
                 return plan
         is_scan = subset & (subset - 1) == 0
-        compute_seconds = None
+        compute_seconds: float | None = None
         if self._tracing:
             plan = None
             measure = self._measure_compute
+            started = 0.0
             if measure:
                 self._compute_stack.append(0.0)
                 started = clock()
@@ -258,7 +307,7 @@ class TopDownEnumerator:
         else:
             plan = self._calc_best_join(subset, order, seed)
         if plan is not None:
-            self.memo.store_plan(
+            self._memo_hot.store_plan(
                 self.query, subset, order, plan, compute_seconds=compute_seconds
             )
         return plan
@@ -269,8 +318,8 @@ class TopDownEnumerator:
         if order is not None:
             unordered = self._get_best(subset, None)
             if unordered is not None:
-                best = self.cost_model.build_sort(self.query, unordered, order)
-        for scan in self.cost_model.scan_plans(self.query, subset, order):
+                best = self._cost_hot.build_sort(self.query, unordered, order)
+        for scan in self._cost_hot.scan_plans(self.query, subset, order):
             if scan.cost < plan_cost(best):
                 best = scan
         return best
@@ -280,7 +329,7 @@ class TopDownEnumerator:
     ) -> Plan | None:
         """CalcBestJoin: partition, recurse, cost each join operator."""
         query = self.query
-        cost_model = self.cost_model
+        cost_model = self._cost_hot
         metrics = self.metrics
         predicted = Bounding.PREDICTED in self.bounding
         metrics.note_expansion((subset, order))
@@ -293,8 +342,13 @@ class TopDownEnumerator:
                 if sorted_plan.cost < plan_cost(best):
                     best = sorted_plan
 
+        partitions = self.partition.partitions(query.graph, subset, metrics)
+        if self._profiling:
+            partitions = profiled_iter(
+                self.profiler, self.partition.kernel, partitions, op="partitions"
+            )
         partitions_seen = 0
-        for left, right in self.partition.partitions(query.graph, subset, metrics):
+        for left, right in partitions:
             partitions_seen += 1
             metrics.logical_joins_enumerated += 1
             if predicted:
@@ -360,6 +414,7 @@ class TopDownEnumerator:
         keeps holding when per-worker registries of a parallel run are
         merged (each worker contributes exactly one zero observation).
         """
+        assert self._h_join_gap is not None  # caller guards on the histogram
         now = clock()
         if self._last_join_at is not None:
             self._h_join_gap.observe((now - self._last_join_at) * 1e6)
@@ -384,10 +439,10 @@ class TopDownEnumerator:
         """
         metrics = self.metrics
         metrics.memo_lookups += 1
-        entry = self.memo.get(self.query, subset, order)
+        entry = self._memo_hot.get(self.query, subset, order)
         if entry is not None:
             if entry.has_plan:
-                plan = self.memo.plan_for_query(self.query, entry)
+                plan = self._memo_hot.plan_for_query(self.query, entry)
                 if plan is not None:
                     if plan.cost <= budget:
                         metrics.memo_hits += 1
@@ -404,10 +459,11 @@ class TopDownEnumerator:
                     self.tracer.memo_bound_hit(subset, order)
                 return None
         is_scan = subset & (subset - 1) == 0
-        compute_seconds = None
+        compute_seconds: float | None = None
         if self._tracing:
             plan = None
             measure = self._measure_compute
+            started = 0.0
             if measure:
                 self._compute_stack.append(0.0)
                 started = clock()
@@ -437,12 +493,12 @@ class TopDownEnumerator:
         if plan is None:
             metrics.budget_failures += 1
             if budget < INFINITY:
-                self.memo.store_lower_bound(
+                self._memo_hot.store_lower_bound(
                     self.query, subset, order, budget,
                     compute_seconds=compute_seconds,
                 )
         else:
-            self.memo.store_plan(
+            self._memo_hot.store_plan(
                 self.query, subset, order, plan, compute_seconds=compute_seconds
             )
         return plan
@@ -452,11 +508,11 @@ class TopDownEnumerator:
     ) -> Plan | None:
         best: Plan | None = None
         if order is not None:
-            sort_cost = self.cost_model.sort_cost(self.query, subset)
+            sort_cost = self._cost_hot.sort_cost(self.query, subset)
             unordered = self._get_best_budgeted(subset, None, budget - sort_cost)
             if unordered is not None:
-                best = self.cost_model.build_sort(self.query, unordered, order)
-        for scan in self.cost_model.scan_plans(self.query, subset, order):
+                best = self._cost_hot.build_sort(self.query, unordered, order)
+        for scan in self._cost_hot.scan_plans(self.query, subset, order):
             if scan.cost < plan_cost(best) and scan.cost <= budget:
                 best = scan
         return best
@@ -465,7 +521,7 @@ class TopDownEnumerator:
         self, subset: int, order: int | None, budget: float, seed: Plan | None
     ) -> Plan | None:
         query = self.query
-        cost_model = self.cost_model
+        cost_model = self._cost_hot
         metrics = self.metrics
         predicted = Bounding.PREDICTED in self.bounding
         metrics.note_expansion((subset, order))
@@ -481,8 +537,13 @@ class TopDownEnumerator:
                 if sorted_plan.cost < plan_cost(best):
                     best = sorted_plan
 
+        partitions = self.partition.partitions(query.graph, subset, metrics)
+        if self._profiling:
+            partitions = profiled_iter(
+                self.profiler, self.partition.kernel, partitions, op="partitions"
+            )
         partitions_seen = 0
-        for left, right in self.partition.partitions(query.graph, subset, metrics):
+        for left, right in partitions:
             partitions_seen += 1
             metrics.logical_joins_enumerated += 1
             cap = min(budget, plan_cost(best))
@@ -495,7 +556,7 @@ class TopDownEnumerator:
                     if self._tracing:
                         self.tracer.predicted_prune(left, right, bound)
                     continue
-            methods = []
+            methods: list[tuple[float, JoinMethod]] = []
             for method in cost_model.JOIN_METHODS:
                 if order is not None:
                     produced = cost_model.join_output_order(

@@ -24,6 +24,11 @@ _TRACER_METHODS = frozenset(
     {"begin", "end", "event", "memo_hit", "memo_bound_hit", "predicted_prune"}
 )
 
+#: Kernel-profiler methods held to the same discipline: a ``profiler``
+#: receiver may only be frame-bracketed/counted behind a profiler-active
+#: guard (``profiler.enabled`` / ``self._profiling``).
+_PROFILER_METHODS = frozenset({"enter", "exit", "count"})
+
 #: Functions that are off the search hot path by construction.
 _COLD_FUNCTIONS = frozenset(
     {"__init__", "__repr__", "__str__", "describe", "summary", "to_dict"}
@@ -36,9 +41,14 @@ def _is_guard_test(test: ast.expr) -> bool:
         if isinstance(node, ast.Attribute) and node.attr in {
             "enabled",
             "_tracing",
+            "_profiling",
         }:
             return True
-        if isinstance(node, ast.Name) and node.id in {"tracing", "measure"}:
+        if isinstance(node, ast.Name) and node.id in {
+            "tracing",
+            "measure",
+            "profiling",
+        }:
             return True
     return False
 
@@ -46,9 +56,10 @@ def _is_guard_test(test: ast.expr) -> bool:
 class HotPathPurityRule(Rule):
     """Instrumentation payloads must be tracer-guarded in hot modules.
 
-    Flags, outside an ``if <tracing>:`` guard and outside ``raise``/
-    ``assert`` error paths: f-strings, ``str.format``/``%``-formatting,
-    ``print``/``logging`` calls, and tracer span/event method calls.
+    Flags, outside an ``if <tracing>:``/``if <profiling>:`` guard and
+    outside ``raise``/``assert`` error paths: f-strings,
+    ``str.format``/``%``-formatting, ``print``/``logging`` calls, tracer
+    span/event method calls, and kernel-profiler frame/count calls.
     Cold-by-construction functions (``__init__``, ``__repr__``,
     ``describe``, ...) and functions prefixed ``render`` are exempt.
     """
@@ -56,8 +67,8 @@ class HotPathPurityRule(Rule):
     name = "hotpath-purity"
     severity = ERROR
     description = (
-        "string/log/tracer payload built outside a tracer-active guard "
-        "on the enumeration hot path"
+        "string/log/tracer/profiler payload built outside an "
+        "instrumentation-active guard on the enumeration hot path"
     )
     scope = ("repro.enumerator", "repro.partition")
 
@@ -172,6 +183,20 @@ class HotPathPurityRule(Rule):
                             "when tracing is off",
                         )
                     )
+                elif (
+                    func.attr in _PROFILER_METHODS
+                    and self._receiver_is_profiler(func.value)
+                ):
+                    out.append(
+                        module.finding(
+                            self,
+                            node,
+                            f"profiler.{func.attr}() outside an "
+                            "`if profiler.enabled:`/`if self._profiling:` "
+                            "guard; kernel frames must be free when "
+                            "profiling is off",
+                        )
+                    )
 
     @staticmethod
     def _receiver_is_tracer(receiver: ast.expr) -> bool:
@@ -179,5 +204,14 @@ class HotPathPurityRule(Rule):
             if isinstance(node, ast.Attribute) and "tracer" in node.attr:
                 return True
             if isinstance(node, ast.Name) and "tracer" in node.id:
+                return True
+        return False
+
+    @staticmethod
+    def _receiver_is_profiler(receiver: ast.expr) -> bool:
+        for node in ast.walk(receiver):
+            if isinstance(node, ast.Attribute) and "profiler" in node.attr:
+                return True
+            if isinstance(node, ast.Name) and "profiler" in node.id:
                 return True
         return False

@@ -37,6 +37,7 @@ from repro.cache.costing import CostProfile, logical_cost_proxy
 from repro.cache.policies import POLICY_NAMES, make_policy
 from repro.cache.stats import CacheStats
 from repro.catalog.query import Query
+from repro.obs.profile import KERNEL_MEMO, NULL_PROFILER, KernelProfiler
 from repro.plans.physical import Plan
 
 if TYPE_CHECKING:
@@ -128,6 +129,7 @@ class MemoTable:
         self._track_weights = capacity is not None and capacity > 0 and (
             self._policy.uses_weights or self._cold is not None
         )
+        self._profiler: KernelProfiler = NULL_PROFILER
         self._h_occupancy: Histogram | None = None
         self._c_evictions: Counter | None = None
         self._c_demotions: Counter | None = None
@@ -176,6 +178,17 @@ class MemoTable:
         self._c_demotions = registry.counter(MEMO_DEMOTIONS)
         self._c_cold_hits = registry.counter(MEMO_COLD_HITS)
         self._c_shared_hits = registry.counter(MEMO_SHARED_HITS)
+
+    def attach_profiler(self, profiler: KernelProfiler) -> None:
+        """Bill eviction/demotion work to the ``memo.table`` kernel.
+
+        Probe/decode/store calls are billed at the call site (the
+        enumerator wraps the table in
+        :class:`~repro.obs.profile.ProfiledMemoCalls`); evictions happen
+        *inside* ``store_plan`` so they are counted here, already within
+        the open ``memo.table`` frame.
+        """
+        self._profiler = profiler
 
     # -- weights ----------------------------------------------------------------
 
@@ -228,11 +241,15 @@ class MemoTable:
                 self.metrics.memo_demotions += 1
             if self._c_demotions is not None:
                 self._c_demotions.inc()
+            if self._profiler.enabled:
+                self._profiler.count(KERNEL_MEMO, "demotions")
         self.stats.evictions += 1
         if self.metrics is not None:
             self.metrics.memo_evictions += 1
         if self._c_evictions is not None:
             self._c_evictions.inc()
+        if self._profiler.enabled:
+            self._profiler.count(KERNEL_MEMO, "evictions")
 
     # -- keying (overridden by GlobalPlanCache) --------------------------------
 

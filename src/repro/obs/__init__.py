@@ -8,19 +8,41 @@ explicitly enabled:
 * :mod:`repro.obs.registry` — named counters/timers/histograms
   (:class:`MetricsRegistry`) for run distributions such as the paper's
   time-between-joins optimality metric;
-* :mod:`repro.obs.exporters` — JSONL span dumps, human-readable
-  recursion trees, and flat summary tables.
+* :mod:`repro.obs.exporters` — JSONL span dumps (write *and* reload),
+  human-readable recursion trees, collapsed-stack flamegraphs, and flat
+  summary tables;
+* :mod:`repro.obs.profile` — kernel-level deterministic profiler
+  (:class:`RecordingProfiler`) attributing exclusive time and op counts
+  to named kernels, with a no-op :data:`NULL_PROFILER` default;
+* :mod:`repro.obs.explain` — per-expression bounding-ledger
+  reconstruction from recorded traces.
 
 See ``docs/observability.md`` for how to read a trace against
-Algorithm 1/7.
+Algorithm 1/7 and ``docs/profiling.md`` for the kernel taxonomy.
 """
 
+from repro.obs.explain import LedgerEntry, bounding_ledger, render_ledger
 from repro.obs.exporters import (
+    aggregate_counters,
+    read_jsonl,
     render_summary,
     render_trace_tree,
+    spans_from_records,
+    spans_to_collapsed,
     spans_to_jsonl,
     subset_label,
     write_jsonl,
+)
+from repro.obs.profile import (
+    KERNEL_BCC_BUILD,
+    KERNEL_COST,
+    KERNEL_MEMO,
+    KERNEL_SEARCH,
+    NULL_PROFILER,
+    KernelProfiler,
+    NullProfiler,
+    RecordingProfiler,
+    render_kernel_table,
 )
 from repro.obs.registry import (
     MEMO_EVICTIONS,
@@ -48,8 +70,24 @@ __all__ = [
     "Stopwatch",
     "clock",
     "time_call",
+    "KernelProfiler",
+    "NullProfiler",
+    "RecordingProfiler",
+    "NULL_PROFILER",
+    "KERNEL_SEARCH",
+    "KERNEL_BCC_BUILD",
+    "KERNEL_MEMO",
+    "KERNEL_COST",
+    "render_kernel_table",
+    "LedgerEntry",
+    "bounding_ledger",
+    "render_ledger",
+    "aggregate_counters",
+    "read_jsonl",
     "render_summary",
     "render_trace_tree",
+    "spans_from_records",
+    "spans_to_collapsed",
     "spans_to_jsonl",
     "subset_label",
     "write_jsonl",

@@ -25,6 +25,10 @@ from repro.obs.tracer import RecordingTracer, Span
 __all__ = [
     "write_jsonl",
     "spans_to_jsonl",
+    "read_jsonl",
+    "spans_from_records",
+    "spans_to_collapsed",
+    "aggregate_counters",
     "render_trace_tree",
     "render_summary",
     "subset_label",
@@ -70,6 +74,121 @@ def write_jsonl(
     else:
         destination.write(text + ("\n" if text else ""))
     return count
+
+
+def spans_from_records(records: Iterable[dict]) -> list[Span]:
+    """Rebuild the span tree(s) from :meth:`Span.to_dict` records.
+
+    Records must appear parents-before-children (the order
+    :func:`write_jsonl` produces).  Returns the root spans; every tree,
+    summary, and flamegraph view renders identically on the result.
+    """
+    by_id: dict[int, Span] = {}
+    roots: list[Span] = []
+    for record in records:
+        span = Span(
+            span_id=record["span_id"],
+            parent_id=record.get("parent_id"),
+            subset=record["subset"],
+            order=record.get("order"),
+            kind=record.get("kind", "join"),
+            strategy=record.get("strategy"),
+            depth=record.get("depth", 0),
+            started_at=0.0,
+            elapsed=record.get("elapsed_us", 0.0) / 1e6,
+            cost=record.get("cost"),
+            budget=record.get("budget"),
+            memo_hits=record.get("memo_hits", 0),
+            memo_bound_hits=record.get("memo_bound_hits", 0),
+            predicted_prunes=record.get("predicted_prunes", 0),
+            budget_failed=record.get("budget_failed", False),
+            events=[(name, data) for name, data in record.get("events", [])],
+            dropped_events=record.get("dropped_events", 0),
+            counters=dict(record.get("counters", {})),
+        )
+        by_id[span.span_id] = span
+        parent = by_id.get(span.parent_id) if span.parent_id is not None else None
+        if parent is None:
+            roots.append(span)
+        else:
+            parent.children.append(span)
+    return roots
+
+
+def read_jsonl(source: Union[str, IO[str]]) -> list[Span]:
+    """Load a JSONL span dump (path or file) back into root spans."""
+    if isinstance(source, str):
+        with open(source, encoding="utf-8") as handle:
+            lines = handle.readlines()
+    else:
+        lines = source.readlines()
+    return spans_from_records(
+        json.loads(line) for line in lines if line.strip()
+    )
+
+
+def _exclusive_elapsed(span: Span) -> float:
+    """Span wall time minus its children's (clamped at zero)."""
+    exclusive = span.elapsed - sum(child.elapsed for child in span.children)
+    return exclusive if exclusive > 0.0 else 0.0
+
+
+def spans_to_collapsed(
+    trace: Union[RecordingTracer, Span, Iterable[Span]],
+    query: Optional[Query] = None,
+) -> str:
+    """Collapsed-stack flamegraph text of a span tree.
+
+    One ``frame;frame <microseconds>`` line per distinct recursion path,
+    frames labelled ``kind:expression`` and valued at *exclusive* span
+    wall time, so the flamegraph area decomposes the root's total exactly
+    (standard input for ``flamegraph.pl`` / speedscope).  Kernel-level
+    flamegraphs come from
+    :meth:`~repro.obs.profile.RecordingProfiler.collapsed` instead.
+    """
+    if isinstance(trace, Span):
+        roots: Iterable[Span] = [trace]
+    elif isinstance(trace, RecordingTracer):
+        roots = trace.roots
+    else:
+        roots = trace
+    totals: dict[tuple[str, ...], float] = {}
+
+    def emit(span: Span, prefix: tuple[str, ...]) -> None:
+        path = prefix + (f"{span.kind}:{subset_label(span.subset, query)}",)
+        totals[path] = totals.get(path, 0.0) + _exclusive_elapsed(span)
+        for child in span.children:
+            emit(child, path)
+
+    for root in roots:
+        emit(root, ())
+    return "\n".join(
+        f"{';'.join(path)} {int(round(totals[path] * 1e6))}"
+        for path in sorted(totals)
+    )
+
+
+def aggregate_counters(
+    trace: Union[RecordingTracer, Span, Iterable[Span]],
+) -> dict[str, int]:
+    """Run totals recovered from per-span exclusive counter deltas.
+
+    Summing every span's exclusive deltas reproduces the recorded
+    portion of the run's :class:`~repro.analysis.metrics.Metrics`, which
+    is what makes a reloaded JSONL dump summary-equivalent to the live
+    tracer.
+    """
+    if isinstance(trace, Span):
+        spans: Iterable[Span] = trace.walk()
+    elif isinstance(trace, RecordingTracer):
+        spans = trace.spans()
+    else:
+        spans = (span for root in trace for span in root.walk())
+    totals: dict[str, int] = {}
+    for span in spans:
+        for name, value in span.counters.items():
+            totals[name] = totals.get(name, 0) + value
+    return {name: value for name, value in sorted(totals.items()) if value}
 
 
 def _span_line(span: Span, query: Optional[Query]) -> str:

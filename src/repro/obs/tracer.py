@@ -81,7 +81,9 @@ class Span:
             "kind": self.kind,
             "strategy": self.strategy,
             "depth": self.depth,
-            "elapsed_us": round(self.elapsed * 1e6, 3),
+            # Full precision so a JSONL dump -> reload round-trips exactly
+            # (floats survive JSON bit-for-bit; rounding here would not).
+            "elapsed_us": self.elapsed * 1e6,
             "cost": self.cost,
             "budget": self.budget,
             "memo_hits": self.memo_hits,
@@ -161,6 +163,12 @@ class RecordingTracer(Tracer):
     def __init__(self, max_events_per_span: int = 256) -> None:
         self.max_events_per_span = max_events_per_span
         self.roots: list[Span] = []
+        #: Memo-hit counts keyed by the requested ``(subset, order)`` —
+        #: the per-expression attribution that span annotations (which
+        #: live on the *requesting* span) cannot recover.
+        self.memo_hit_subsets: dict[tuple[int, Optional[int]], int] = {}
+        #: Same, for lookups answered by a stored lower bound.
+        self.bound_hit_subsets: dict[tuple[int, Optional[int]], int] = {}
         self._stack: list[Span] = []
         self._snapshots: list[dict[str, int]] = []
         self._child_totals: list[dict[str, int]] = []
@@ -226,10 +234,14 @@ class RecordingTracer(Tracer):
     # -- annotations -------------------------------------------------------------
 
     def memo_hit(self, subset: int, order: int | None) -> None:
+        key = (subset, order)
+        self.memo_hit_subsets[key] = self.memo_hit_subsets.get(key, 0) + 1
         if self._stack:
             self._stack[-1].memo_hits += 1
 
     def memo_bound_hit(self, subset: int, order: int | None) -> None:
+        key = (subset, order)
+        self.bound_hit_subsets[key] = self.bound_hit_subsets.get(key, 0) + 1
         if self._stack:
             self._stack[-1].memo_bound_hits += 1
 

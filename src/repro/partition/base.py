@@ -7,6 +7,7 @@ from collections.abc import Iterator
 
 from repro.analysis.metrics import Metrics
 from repro.core.joingraph import JoinGraph
+from repro.obs.profile import NULL_PROFILER, KernelProfiler
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.spaces import PlanSpace
 
@@ -40,6 +41,11 @@ class PartitionStrategy(ABC):
     space: PlanSpace
     #: Span/event sink; rebound per-run by :class:`~repro.enumerator.TopDownEnumerator`.
     tracer: Tracer = NULL_TRACER
+    #: Profiling kernel this strategy's partition generation bills to
+    #: (see ``docs/profiling.md`` for the taxonomy).
+    kernel: str = "partition.enumerate"
+    #: Kernel profiler; rebound per-run by the enumerator when profiling.
+    profiler: KernelProfiler = NULL_PROFILER
 
     @abstractmethod
     def partitions(

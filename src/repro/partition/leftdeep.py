@@ -30,6 +30,7 @@ class MinCutLeftDeep(PartitionStrategy):
 
     name = "mc"
     space = PlanSpace.left_deep_cp_free()
+    kernel = "partition.articulation"
 
     def partitions(
         self, graph: JoinGraph, subset: int, metrics: Metrics

@@ -24,6 +24,7 @@ from collections.abc import Iterator
 from repro.analysis.metrics import Metrics
 from repro.core.biconnection import BiconnectionTree, build_bcc_tree
 from repro.core.joingraph import JoinGraph
+from repro.obs.profile import KERNEL_BCC_BUILD
 from repro.partition.base import PartitionStrategy, PlanSpace
 
 __all__ = ["MinCutEager", "MinCutLazy"]
@@ -46,6 +47,7 @@ class MinCutLazy(PartitionStrategy):
 
     name = "mc"
     space = PlanSpace.bushy_cp_free()
+    kernel = "partition.mincut"
     reuse_trees = True
 
     def __init__(self, size3_tweak: bool = False, anchor: int | None = None) -> None:
@@ -93,7 +95,7 @@ class MinCutLazy(PartitionStrategy):
         if neighbourhood & ~t == 0:
             return  # S cannot be extended
 
-        tree = None
+        tree: BiconnectionTree | None = None
         if tree_old is not None and self.reuse_trees:
             metrics.usability_tests += 1
             if tree_old.is_usable_for(rest, size3_tweak=self.size3_tweak):
@@ -102,7 +104,12 @@ class MinCutLazy(PartitionStrategy):
                 if self.tracer.enabled:
                     self.tracer.event("bcc_tree_reused", rest=rest)
         if tree is None:
-            tree = build_bcc_tree(graph, rest, anchor)
+            if self.profiler.enabled:
+                self.profiler.enter(KERNEL_BCC_BUILD)
+                tree = build_bcc_tree(graph, rest, anchor)
+                self.profiler.exit()
+            else:
+                tree = build_bcc_tree(graph, rest, anchor)
             metrics.bcc_trees_built += 1
             if self.tracer.enabled:
                 self.tracer.event(
@@ -112,7 +119,7 @@ class MinCutLazy(PartitionStrategy):
         # Pivot set P: neighbours of S outside S ∪ T whose subtree contains
         # no other neighbour of S (maximally distant from the anchor).
         blocked = s | t
-        pivots = []
+        pivots: list[int] = []
         candidates = neighbourhood & ~blocked
         remaining = candidates
         while remaining:

@@ -52,6 +52,7 @@ class MinCutOptimistic(PartitionStrategy):
 
     name = "mc-optimistic"
     space = PlanSpace.bushy_cp_free()
+    kernel = "partition.mincut_probe"
 
     def __init__(self, anchor: int | None = None) -> None:
         self.anchor = anchor

@@ -34,6 +34,7 @@ class NaiveLeftDeepCP(PartitionStrategy):
 
     name = "naive"
     space = PlanSpace.left_deep_with_cp()
+    kernel = "partition.peel"
 
     def partitions(
         self, graph: JoinGraph, subset: int, metrics: Metrics
@@ -59,6 +60,7 @@ class NaiveLeftDeepCPFree(PartitionStrategy):
 
     name = "naive"
     space = PlanSpace.left_deep_cp_free()
+    kernel = "partition.peel"
 
     def partitions(
         self, graph: JoinGraph, subset: int, metrics: Metrics
@@ -90,6 +92,7 @@ class NaiveBushyCP(PartitionStrategy):
 
     name = "naive"
     space = PlanSpace.bushy_with_cp()
+    kernel = "enum.subsets"
 
     def partitions(
         self, graph: JoinGraph, subset: int, metrics: Metrics
@@ -112,6 +115,7 @@ class NaiveBushyCPFree(PartitionStrategy):
 
     name = "naive"
     space = PlanSpace.bushy_cp_free()
+    kernel = "enum.subsets"
 
     def partitions(
         self, graph: JoinGraph, subset: int, metrics: Metrics

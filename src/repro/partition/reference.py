@@ -40,6 +40,7 @@ class BruteForceMinCuts(PartitionStrategy):
 
     name = "bruteforce"
     space = PlanSpace.bushy_cp_free()
+    kernel = "enum.subsets"
 
     def partitions(
         self, graph: JoinGraph, subset: int, metrics: Metrics

@@ -45,6 +45,7 @@ from repro.cache.costing import CostProfile
 from repro.cache.policies import POLICY_NAMES
 from repro.enumerator import Bounding, TopDownEnumerator
 from repro.memo import GlobalPlanCache, MemoTable
+from repro.obs.profile import KernelProfiler
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import Tracer
 from repro.partition import (
@@ -380,6 +381,7 @@ def make_optimizer(
     metrics: Metrics | None = None,
     tracer: Tracer | None = None,
     registry: MetricsRegistry | None = None,
+    profiler: KernelProfiler | None = None,
     workers: int | None = None,
     parallel_policy: str = "auto",
     worker_trace_dir: str | None = None,
@@ -397,7 +399,10 @@ def make_optimizer(
     optimizer, or — when a worker count is requested — a
     :class:`~repro.parallel.scheduler.ParallelEnumerator`).  ``tracer``
     and ``registry`` attach the :mod:`repro.obs` instrumentation; both
-    default to off (zero overhead).
+    default to off (zero overhead).  ``profiler`` attaches a kernel
+    profiler (:mod:`repro.obs.profile`) and requires a serial top-down
+    algorithm — bottom-up optimizers have no partition/memo kernels to
+    attribute, and parallel workers would need per-process profilers.
 
     The worker count comes from the explicit ``workers`` argument or,
     failing that, a ``@N`` suffix on ``name`` (``TBNmc@4``); the explicit
@@ -451,6 +456,10 @@ def make_optimizer(
             profile=memo_profile,
             shared=global_cache,
         )
+    if profiler is not None and (workers is not None or not spec.top_down):
+        raise ValueError(
+            f"{name!r}: kernel profiling requires a serial top-down algorithm"
+        )
     if workers is not None:
         if not spec.top_down:
             raise ValueError(
@@ -485,6 +494,7 @@ def make_optimizer(
             metrics=metrics,
             tracer=tracer,
             registry=registry,
+            profiler=profiler,
         )
     if memo is not None:
         raise ValueError("bottom-up algorithms manage their own plan table")

@@ -123,6 +123,158 @@ class TestObservabilityCommands:
         assert "optimize" in capsys.readouterr().out
 
 
+class TestProfileCli:
+    """The kernel-profiler subcommand and optimize --profile-out."""
+
+    def test_profile_text_table(self, capsys):
+        assert main([
+            "profile", "--topology", "star", "--n", "8", "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "kernel" in out and "share" in out
+        assert "cost.eval" in out and "enum.recurse" in out
+        assert "top-3 of wall:" in out
+
+    def test_profile_json_report(self, capsys):
+        import json
+
+        assert main([
+            "profile", "--topology", "clique", "--n", "7", "--json",
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["algorithm"] == "TBNmc"
+        assert report["coverage_of_wall"] > 0.9
+        kernels = [row["kernel"] for row in report["kernels"]]
+        assert "memo.table" in kernels
+        for row in report["kernels"]:
+            assert row["share_of_wall"] >= 0.0
+
+    def test_profile_kernel_filter(self, capsys):
+        assert main([
+            "profile", "--topology", "star", "--n", "7",
+            "--kernels", "memo.table,cost.eval",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "memo.table" in out and "cost.eval" in out
+        assert "partition.bcc_build" not in out
+
+    def test_profile_flamegraph_creates_parent_dirs(self, capsys, tmp_path):
+        """--*-out paths create missing directories (the trace fix)."""
+        folded = tmp_path / "deep" / "nested" / "star.folded"
+        assert main([
+            "profile", "--topology", "star", "--n", "7",
+            "--flamegraph-out", str(folded),
+        ]) == 0
+        lines = folded.read_text().splitlines()
+        assert lines
+        for line in lines:
+            path, _space, micros = line.rpartition(" ")
+            assert path and int(micros) >= 0
+        assert any(line.startswith("enum.recurse;") for line in lines)
+
+    def test_optimize_profile_out(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "profile.json"
+        code = main([
+            "optimize", "--topology", "chain", "--n", "6", "--json",
+            "--profile-out", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["profile"]["path"] == str(out)
+        report = json.load(open(out, encoding="utf-8"))
+        assert report["kernels"]
+        assert payload["profile"]["kernels"] == [
+            row["kernel"] for row in report["kernels"]
+        ]
+
+
+class TestExplainCli:
+    """The plan-decision explain subcommand (ledger + phase diff)."""
+
+    def test_explain_single_run_ledger(self, capsys):
+        assert main([
+            "explain", "--algorithm", "TBNmcAP", "--topology", "clique",
+            "--n", "7",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "expression" in out and "budget" in out
+
+    def test_explain_phases_text(self, capsys):
+        assert main([
+            "explain", "--topology", "clique", "--n", "8",
+            "--phases", "TBNmcP,TBCnaiveP",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "phase diff (every phase-1 subplan):" in out
+        assert "bounding ledger (final phase):" in out
+
+    def test_explain_phases_json_covers_phase1(self, capsys):
+        import json
+
+        assert main([
+            "explain", "--topology", "clique", "--n", "8", "--json",
+            "--phases", "TBNmcP,TBCnaiveP",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["phases"]) == 2
+        assert payload["decisions"]
+        for decision in payload["decisions"]:
+            assert decision["verdict"] and decision["reason"]
+        assert payload["ledger"]
+
+    def test_explain_from_trace(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main([
+            "optimize", "--topology", "chain", "--n", "6",
+            "--trace-out", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["explain", "--from-trace", str(trace)]) == 0
+        assert "expression" in capsys.readouterr().out
+
+    def test_explain_missing_trace_fails_cleanly(self, capsys):
+        assert main(["explain", "--from-trace", "/nonexistent.jsonl"]) == 2
+        assert "cannot load trace" in capsys.readouterr().err
+
+    def test_explain_single_phase_rejected(self, capsys):
+        assert main([
+            "explain", "--topology", "chain", "--n", "5",
+            "--phases", "TBNmc",
+        ]) == 2
+        assert "two" in capsys.readouterr().err
+
+
+class TestOutPathCreation:
+    """--*-out options create missing parent directories up front."""
+
+    def test_optimize_trace_out_nested_dir(self, capsys, tmp_path):
+        path = tmp_path / "missing" / "dirs" / "trace.jsonl"
+        assert main([
+            "optimize", "--topology", "chain", "--n", "5",
+            "--trace-out", str(path),
+        ]) == 0
+        assert path.read_text().strip()
+
+    def test_trace_out_nested_dir(self, capsys, tmp_path):
+        path = tmp_path / "a" / "b" / "trace.jsonl"
+        assert main([
+            "trace", "--topology", "chain", "--n", "5", "--out", str(path),
+        ]) == 0
+        assert path.read_text().strip()
+
+    def test_uncreatable_dir_fails_with_status_2(self, capsys, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory\n")
+        code = main([
+            "optimize", "--topology", "chain", "--n", "5",
+            "--trace-out", str(blocker / "sub" / "trace.jsonl"),
+        ])
+        assert code == 2
+        assert "cannot create directory" in capsys.readouterr().err
+
+
 class TestParallelCli:
     def _cost_of(self, capsys, argv):
         import json

@@ -1,0 +1,149 @@
+"""Tests for plan-decision explain: bounding ledger + multiphase diff.
+
+The acceptance bar from the observability issue: on a multiphase
+clique-10 run, ``explain_phases`` must report a reuse/reject reason for
+*every* subplan of the phase-1 optimum — no silent drops.
+"""
+
+import pytest
+
+from repro.multiphase import (
+    SubplanDecision,
+    explain_phases,
+    optimize_multiphase,
+    render_phase_diff,
+)
+from repro.obs.exporters import read_jsonl, write_jsonl
+from repro.obs.explain import bounding_ledger, render_ledger
+from repro.obs.tracer import RecordingTracer
+from repro.registry import make_optimizer
+from repro.workloads import clique, star
+from repro.workloads.weights import weighted_query
+
+VERDICTS = {"reused", "improved", "rejected", "restructured", "pruned"}
+
+
+class TestBoundingLedger:
+    def _traced_run(self, algorithm="TBNmcAP", n=8):
+        query = weighted_query(clique(n), 5)
+        tracer = RecordingTracer()
+        optimizer = make_optimizer(algorithm, query, tracer=tracer)
+        optimizer.optimize()
+        return query, tracer
+
+    def test_one_entry_per_cell(self):
+        _query, tracer = self._traced_run()
+        ledger = bounding_ledger(tracer)
+        cells = [(e.subset, e.order) for e in ledger]
+        assert len(cells) == len(set(cells))
+        assert len(ledger) == len({
+            (s.subset, s.order) for s in tracer.spans()
+        })
+
+    def test_budgeted_run_records_budgets(self):
+        _query, tracer = self._traced_run("TBNmcAP")
+        ledger = bounding_ledger(tracer)
+        assert any(e.budgets for e in ledger)
+        for entry in ledger:
+            assert tuple(sorted(entry.budgets)) == entry.budgets
+            assert entry.computations >= entry.budget_failures
+
+    def test_ledger_survives_jsonl_roundtrip(self, tmp_path):
+        _query, tracer = self._traced_run()
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(tracer, str(path))
+        reloaded = bounding_ledger(read_jsonl(str(path)))
+        live = bounding_ledger(tracer)
+        assert [e.to_dict() for e in reloaded] == [e.to_dict() for e in live]
+
+    def test_render_ledger_limits(self):
+        query, tracer = self._traced_run()
+        ledger = bounding_ledger(tracer)
+        full = render_ledger(ledger, query)
+        assert "expression" in full
+        short = render_ledger(ledger, query, limit=3)
+        assert len(short.splitlines()) < len(full.splitlines())
+        assert "more expressions" in short
+
+
+class TestExplainPhases:
+    def _diff(self, n=10, phases=("TBNmcP", "TBCnaiveP")):
+        query = weighted_query(clique(n), 5)
+        result = optimize_multiphase(query, list(phases), trace=True)
+        return query, result, explain_phases(result, query)
+
+    def test_every_phase1_subplan_has_a_decision(self):
+        """The acceptance criterion: clique-10, no subplan unaccounted."""
+        _query, result, decisions = self._diff(n=10)
+        phase1_subsets = {
+            node.vertices for node in result.phases[-2].plan.iter_nodes()
+        }
+        assert {d.subset for d in decisions} == phase1_subsets
+        for decision in decisions:
+            assert decision.verdict in VERDICTS
+            assert decision.reason
+            assert decision.label
+
+    def test_seeded_second_phase_reuses_or_improves(self):
+        """Phase 2 over a superset space never worsens a kept subplan."""
+        _query, _result, decisions = self._diff(n=8)
+        for decision in decisions:
+            if decision.phase2_cost is not None and decision.verdict in (
+                "reused", "improved"
+            ):
+                assert decision.phase2_cost <= decision.phase1_cost
+
+    def test_left_deep_to_bushy_explains_discards(self):
+        """A bushy phase 2 restructures star left-deep subplans."""
+        query = weighted_query(star(8), 5)
+        result = optimize_multiphase(
+            query, ["TLNmcP", "TBNmcP"], trace=True
+        )
+        decisions = explain_phases(result, query)
+        assert decisions
+        assert all(d.verdict in VERDICTS and d.reason for d in decisions)
+
+    def test_requires_two_phases(self):
+        query = weighted_query(clique(6), 5)
+        result = optimize_multiphase(query, ["TBNmc"], trace=True)
+        with pytest.raises(ValueError, match="two phases"):
+            explain_phases(result, query)
+
+    def test_requires_trace(self):
+        query = weighted_query(clique(6), 5)
+        result = optimize_multiphase(query, ["TBNmcP", "TBCnaiveP"])
+        with pytest.raises(ValueError, match="trace=True"):
+            explain_phases(result, query)
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        _query, _result, decisions = self._diff(n=8)
+        payload = json.dumps([d.to_dict() for d in decisions])
+        assert json.loads(payload)[0]["verdict"] in VERDICTS
+
+
+class TestRenderPhaseDiff:
+    def _decisions(self):
+        return [
+            SubplanDecision(0b111, "a ⋈ b ⋈ c", "reused",
+                            "kept at matching cost 12", 12.0, 12.0),
+            SubplanDecision(0b011, "a ⋈ b", "improved",
+                            "larger space found cost 4 < 6", 6.0, 4.0),
+            SubplanDecision(0b110, "b ⋈ c", "rejected",
+                            "every attempt failed its budget", 9.0, None),
+        ]
+
+    def test_renders_all_rows(self):
+        text = render_phase_diff(self._decisions())
+        assert "expression" in text
+        assert text.count("\n") == 3
+        assert "reused" in text and "improved" in text and "rejected" in text
+        assert " - " not in text.splitlines()[1]  # reused row has both costs
+
+    def test_limit_elides(self):
+        text = render_phase_diff(self._decisions(), limit=1)
+        assert "2 more subplans" in text
+
+    def test_empty(self):
+        assert render_phase_diff([]) == "(no phase-1 subplans)"

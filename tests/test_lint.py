@@ -239,6 +239,43 @@ class TestHotPathPurity:
         """
         assert rule_names(source, module="repro.obs.tracer") == []
 
+    def test_flags_unguarded_profiler_enter(self):
+        source = """\
+        def step(self, subset):
+            self.profiler.enter("memo.table")
+            probe(subset)
+            self.profiler.exit()
+        """
+        found = findings(source, module=self.IN_SCOPE)
+        assert [f.rule for f in found] == ["hotpath-purity", "hotpath-purity"]
+        assert all(f.severity == ERROR for f in found)
+        assert "profiler" in found[0].message
+
+    def test_flags_unguarded_profiler_count(self):
+        source = """\
+        def step(self, profiler, subset):
+            profiler.count("memo.table", "probes")
+        """
+        assert "hotpath-purity" in rule_names(source, module=self.IN_SCOPE)
+
+    def test_guarded_profiler_calls_are_clean(self):
+        source = """\
+        def step(self, subset):
+            if self._profiling:
+                self.profiler.enter("memo.table")
+            probe(subset)
+            if self.profiler.enabled:
+                self.profiler.exit()
+        """
+        assert rule_names(source, module=self.IN_SCOPE) == []
+
+    def test_profiler_module_itself_is_exempt(self):
+        source = """\
+        def step(self, profiler, subset):
+            profiler.enter("memo.table")
+        """
+        assert rule_names(source, module="repro.obs.profile") == []
+
 
 class TestMetricsField:
     def test_flags_undeclared_field_write(self):

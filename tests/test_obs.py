@@ -1,5 +1,8 @@
 """Tests for the observability layer (repro.obs)."""
 
+# lint: disable-file=instrument-name -- tests exercise the registry with
+# ad-hoc instrument names on purpose; only src/ must use the constants.
+
 import io
 import json
 
@@ -277,6 +280,56 @@ class TestExporters:
     def test_spans_to_jsonl_matches_write(self, traced):
         tracer, _ = traced
         assert spans_to_jsonl(tracer).count("\n") == tracer.span_count() - 1
+
+
+class TestExporterRoundTripClique10:
+    """Exporters are lossless on a real clique-10 trace (satellite gate)."""
+
+    @pytest.fixture(scope="class")
+    def clique10_trace(self):
+        from repro.obs.exporters import read_jsonl
+
+        query = make_query("clique", 10, 42)
+        tracer = RecordingTracer()
+        make_optimizer("TBNmc", query, tracer=tracer).optimize()
+        dumped = spans_to_jsonl(tracer)
+        reloaded = read_jsonl(io.StringIO(dumped))
+        return query, tracer, dumped, reloaded
+
+    def test_redump_is_byte_identical(self, clique10_trace):
+        _query, _tracer, dumped, reloaded = clique10_trace
+        redumped = "\n".join(
+            spans_to_jsonl(root) for root in reloaded
+        )
+        assert redumped == dumped
+
+    def test_tree_rendering_survives_reload(self, clique10_trace):
+        query, tracer, _dumped, reloaded = clique10_trace
+        original = render_trace_tree(tracer, query, max_depth=3)
+        assert original == "\n".join(
+            render_trace_tree(root, query, max_depth=3) for root in reloaded
+        )
+
+    def test_collapsed_stacks_survive_reload(self, clique10_trace):
+        from repro.obs.exporters import spans_to_collapsed
+
+        query, tracer, _dumped, reloaded = clique10_trace
+        original = spans_to_collapsed(tracer, query)
+        recovered = "\n".join(
+            spans_to_collapsed(root, query) for root in reloaded
+        )
+        assert original == recovered
+
+    def test_counters_survive_reload(self, clique10_trace):
+        from repro.obs.exporters import aggregate_counters
+
+        _query, tracer, _dumped, reloaded = clique10_trace
+        original = aggregate_counters(tracer)
+        recovered: dict = {}
+        for root in reloaded:
+            for counter, value in aggregate_counters(root).items():
+                recovered[counter] = recovered.get(counter, 0) + value
+        assert recovered == original
 
 
 class TestTiming:
