@@ -12,6 +12,7 @@ Subcommands::
     repro experiment all [--scale small]       # everything (EXPERIMENTS.md)
     repro verify [--fuzz N] [--invariant ...]  # conformance invariants
     repro lint src/ [--format json] ...        # repo-aware static analysis
+    repro serve [--port 7411] [--once]         # resident plan service
 
 ``optimize`` accepts ``--json`` (machine-readable result),
 ``--trace-out PATH`` (JSONL span dump, one span per memoized expression
@@ -666,6 +667,93 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the resident plan service (docs/serving.md).
+
+    Foreground mode binds ``--host``/``--port`` and serves until
+    interrupted.  ``--once`` is the self-test: bind an ephemeral port,
+    run the seeded three-phase load suite against ourselves, print the
+    report, and exit non-zero on any failed request or any served plan
+    that is not bit-identical to direct optimization.
+    """
+    import asyncio
+
+    from repro.serve.load import build_workload, run_load
+    from repro.serve.server import PlanServer
+
+    def make_server(port: int) -> PlanServer:
+        return PlanServer(
+            args.host,
+            port,
+            algorithm=args.algorithm,
+            batch_size=args.batch_size,
+            dispatch_workers=args.dispatch_workers,
+            max_inflight=args.max_inflight,
+            tenant_rate=args.tenant_rate,
+            tenant_burst=args.tenant_burst,
+        )
+
+    if args.once:
+
+        async def once() -> int:
+            server = make_server(0)
+            await server.start()
+            host, port = server.address
+            workload = build_workload(
+                unique=args.unique,
+                seed=args.seed,
+                algorithm=args.algorithm,
+                burst=args.dedup_burst,
+            )
+            report = await run_load(
+                host, port, workload, concurrency=args.concurrency
+            )
+            await server.stop()
+            payload = report.to_dict()
+            if args.json:
+                print(json.dumps(payload, indent=2, sort_keys=True))
+            else:
+                print(
+                    f"serve --once: {report.requests} requests against "
+                    f"{host}:{port} ({args.algorithm})"
+                )
+                print(
+                    f"  ok={report.ok} failed={report.failed} "
+                    f"mismatches={report.mismatches}"
+                )
+                print(
+                    f"  hit_rate={report.hit_rate:.3f} "
+                    f"dedup_saves={report.dedup_saves} "
+                    f"p50={payload['latency_p50_ms']:.2f}ms "
+                    f"p99={payload['latency_p99_ms']:.2f}ms "
+                    f"plans/s={report.plans_per_sec:.1f}"
+                )
+            ok = report.ok > 0 and report.failed == 0 and report.mismatches == 0
+            return 0 if ok else 1
+
+        return asyncio.run(once())
+
+    async def forever() -> int:
+        server = make_server(args.port)
+        await server.start()
+        host, port = server.address
+        print(
+            f"serving on {host}:{port} (default algorithm "
+            f"{args.algorithm}); Ctrl-C to stop"
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+        return 0
+
+    try:
+        return asyncio.run(forever())
+    except KeyboardInterrupt:
+        print("\nstopped")
+        return 0
+
+
 def _split_rule_list(values: list[str] | None) -> list[str] | None:
     """Flatten repeatable, comma-separated rule-name options."""
     if not values:
@@ -941,6 +1029,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the rule catalog and exit",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="resident plan service over NDJSON/TCP (docs/serving.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7411, help="TCP port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--algorithm", default="TBNmc",
+        help="default algorithm for requests that do not name one",
+    )
+    serve.add_argument(
+        "--batch-size", type=int, default=4, metavar="N",
+        help="max queued requests one dispatch worker takes per batch",
+    )
+    serve.add_argument(
+        "--dispatch-workers", type=int, default=2, metavar="N",
+        help="concurrent optimizer worker threads",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=64, metavar="N",
+        help="admission control: max concurrently admitted requests",
+    )
+    serve.add_argument(
+        "--tenant-rate", type=float, default=None, metavar="RPS",
+        help="per-tenant token-bucket refill rate (default: no quotas)",
+    )
+    serve.add_argument(
+        "--tenant-burst", type=float, default=8.0, metavar="N",
+        help="per-tenant token-bucket capacity",
+    )
+    serve.add_argument(
+        "--once", action="store_true",
+        help="self-test: serve an ephemeral port, run the seeded load "
+             "suite against it, report, and exit",
+    )
+    serve.add_argument(
+        "--unique", type=int, default=10, metavar="N",
+        help="unique queries in the --once suite",
+    )
+    serve.add_argument(
+        "--dedup-burst", type=int, default=4, metavar="K",
+        help="pipelined identical requests in the --once dedup phase",
+    )
+    serve.add_argument(
+        "--concurrency", type=int, default=4, metavar="N",
+        help="concurrent client connections in the --once flood phase",
+    )
+    serve.add_argument("--seed", type=int, default=1234)
+    serve.add_argument(
+        "--json", action="store_true",
+        help="emit the --once report as machine-readable JSON",
+    )
+
     return parser
 
 
@@ -958,6 +1101,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": _cmd_experiment,
         "verify": _cmd_verify,
         "lint": _cmd_lint,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

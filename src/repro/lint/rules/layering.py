@@ -5,7 +5,7 @@ The architecture is a strict layering (lowest first)::
     core → {spaces, catalog} → {analysis, workloads, plans}
          → {obs, cost, cache, exec} → partition
          → {memo, bottomup, prefix, transform} → enumerator
-         → parallel → registry → multiphase → experiments
+         → parallel → registry → {multiphase, serve} → experiments
          → conformance → {lint, cli}
 
 A module may import only from packages at or below its own rank.  Upward
@@ -56,6 +56,7 @@ LAYERS: dict[str, int] = {
     "repro.registry": 7,
     "repro.parallel": 8,
     "repro.multiphase": 9,
+    "repro.serve": 9,
     "repro.experiments": 10,
     "repro.conformance": 11,
     "repro.lint": 12,

@@ -26,6 +26,7 @@ full plans in the LRU order makes bounded runs strictly worse.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Hashable, Optional, cast
@@ -548,6 +549,14 @@ class GlobalPlanCache(MemoTable):
     parallel workers: :meth:`export_for_query` relabels every applicable
     plan into one query's ``(subset, order)`` wire entries, and
     :meth:`absorb_memo` folds a finished query's memo back in.
+
+    Unlike per-query memos (each owned by exactly one enumerator), a
+    shared cache is read and written by whoever holds a reference — the
+    serve tier probes and populates it from concurrent optimizer worker
+    threads.  Every public entry point therefore serializes on one
+    reentrant lock: lookups mutate policy recency order and stores can
+    trigger eviction/demotion chains, either of which corrupts the
+    underlying ``OrderedDict`` under unsynchronized concurrent access.
     """
 
     def __init__(
@@ -567,10 +576,48 @@ class GlobalPlanCache(MemoTable):
             profile=profile,
         )
         self._name_maps: dict[Hashable, dict[str, int]] = {}
+        self._lock = threading.RLock()
 
     def key_for(self, query: Query, subset: int, order: int | None) -> Hashable:
         """Key by canonical logical expression (relation names + predicates)."""
         return canonical_expression_key(query, subset, order)
+
+    # -- concurrency --------------------------------------------------------------
+    #
+    # Reentrant because absorb_memo calls peek/store_plan and get can
+    # recurse into _store (cold promotion); plan_for_query stays lock-free
+    # (it only reads an immutable entry already handed to the caller).
+
+    def get(self, query: Query, subset: int, order: int | None) -> Optional[MemoEntry]:
+        with self._lock:
+            return super().get(query, subset, order)
+
+    def peek(self, query: Query, subset: int, order: int | None) -> Optional[MemoEntry]:
+        with self._lock:
+            return super().peek(query, subset, order)
+
+    def store_lower_bound(
+        self,
+        query: Query,
+        subset: int,
+        order: int | None,
+        bound: float,
+        *,
+        compute_seconds: float | None = None,
+    ) -> None:
+        with self._lock:
+            super().store_lower_bound(
+                query, subset, order, bound, compute_seconds=compute_seconds
+            )
+
+    def summary(self) -> dict[str, object]:
+        with self._lock:
+            return super().summary()
+
+    def clear(self) -> None:
+        with self._lock:
+            super().clear()
+            self._name_maps.clear()
 
     def export_entries(
         self, exclude: "set[Hashable] | None" = None
@@ -592,14 +639,15 @@ class GlobalPlanCache(MemoTable):
         compute_seconds: float | None = None,
     ) -> None:
         """Store a plan along with the writer's name -> vertex mapping."""
-        key = self.key_for(query, subset, order)
-        self._name_maps[key] = {
-            query.relations[v].name: v for v in iter_bits(subset)
-        }
-        weight = None
-        if self._track_weights:
-            weight = self._weight_for(query, subset, order, compute_seconds)
-        self._store(key, MemoEntry(plan=plan), weight=weight)
+        with self._lock:
+            key = self.key_for(query, subset, order)
+            self._name_maps[key] = {
+                query.relations[v].name: v for v in iter_bits(subset)
+            }
+            weight = None
+            if self._track_weights:
+                weight = self._weight_for(query, subset, order, compute_seconds)
+            self._store(key, MemoEntry(plan=plan), weight=weight)
 
     def plan_for_query(self, query: Query, entry: MemoEntry) -> Optional[Plan]:
         """Relabel the stored plan into the reading query's numbering."""
@@ -637,7 +685,9 @@ class GlobalPlanCache(MemoTable):
         """
         name_to_vertex = {query.relations[v].name: v for v in range(query.n)}
         entries: list[WireEntry] = []
-        for key, entry in self._cells.items():
+        with self._lock:
+            cells = list(self._cells.items())
+        for key, entry in cells:
             if not entry.has_plan:
                 continue
             plan = self.plan_for_query(query, entry)
@@ -667,16 +717,17 @@ class GlobalPlanCache(MemoTable):
         if isinstance(memo, GlobalPlanCache):
             raise TypeError("absorb_memo expects a per-query (subset, order) memo")
         added = 0
-        for key in memo.keys():
-            subset, order = cast("tuple[int, Optional[int]]", key)
-            entry = memo.peek(query, subset, order)
-            if entry is None or not entry.has_plan:
-                continue
-            plan = memo.plan_for_query(query, entry)
-            if plan is None:
-                continue
-            if self.peek(query, subset, order) is not None:
-                continue
-            self.store_plan(query, subset, order, plan)
-            added += 1
+        with self._lock:
+            for key in memo.keys():
+                subset, order = cast("tuple[int, Optional[int]]", key)
+                entry = memo.peek(query, subset, order)
+                if entry is None or not entry.has_plan:
+                    continue
+                plan = memo.plan_for_query(query, entry)
+                if plan is None:
+                    continue
+                if self.peek(query, subset, order) is not None:
+                    continue
+                self.store_plan(query, subset, order, plan)
+                added += 1
         return added

@@ -13,7 +13,7 @@ write into one registry for apples-to-apples comparison.
 from __future__ import annotations
 
 import math
-from typing import Any, Iterator
+from typing import Any, Iterator, TypeVar
 
 from repro.obs.timing import Stopwatch
 
@@ -29,6 +29,15 @@ __all__ = [
     "MEMO_DEMOTIONS",
     "MEMO_COLD_HITS",
     "MEMO_SHARED_HITS",
+    "SERVE_REQUESTS",
+    "SERVE_CACHE_HITS",
+    "SERVE_CACHE_MISSES",
+    "SERVE_DEDUP_SAVES",
+    "SERVE_REJECTED",
+    "SERVE_ERRORS",
+    "SERVE_QUEUE_DEPTH",
+    "SERVE_BATCH_SIZE",
+    "SERVE_REQUEST_SECONDS",
 ]
 
 #: Well-known instrument names used by the built-in instrumentation.
@@ -39,6 +48,17 @@ MEMO_EVICTIONS = "memo_evictions"
 MEMO_DEMOTIONS = "memo_demotions"
 MEMO_COLD_HITS = "memo_cold_hits"
 MEMO_SHARED_HITS = "memo_shared_hits"
+
+#: Instruments of the ``repro.serve`` tier (counters unless noted).
+SERVE_REQUESTS = "serve_requests"
+SERVE_CACHE_HITS = "serve_cache_hits"
+SERVE_CACHE_MISSES = "serve_cache_misses"
+SERVE_DEDUP_SAVES = "serve_dedup_saves"
+SERVE_REJECTED = "serve_rejected"
+SERVE_ERRORS = "serve_errors"
+SERVE_QUEUE_DEPTH = "serve_queue_depth"  # histogram, sampled at dispatch
+SERVE_BATCH_SIZE = "serve_batch_size"  # histogram, per dispatched batch
+SERVE_REQUEST_SECONDS = "serve_request_seconds"  # timer, admission→reply
 
 
 class Counter:
@@ -180,18 +200,22 @@ class _TimerContext:
         self._timer.observe(self._stopwatch.elapsed())
 
 
+_Instrument = TypeVar("_Instrument", "Counter", "Timer", "Histogram")
+
+
 class MetricsRegistry:
     """Named instruments, created on first use and shared thereafter."""
 
     def __init__(self) -> None:
         self._instruments: dict[str, Counter | Timer | Histogram] = {}
 
-    def _get_or_create(self, name: str, cls: type) -> Any:
+    def _get_or_create(self, name: str, cls: type[_Instrument]) -> _Instrument:
         instrument = self._instruments.get(name)
         if instrument is None:
-            instrument = cls(name)
-            self._instruments[name] = instrument
-        elif not isinstance(instrument, cls):
+            created = cls(name)
+            self._instruments[name] = created
+            return created
+        if not isinstance(instrument, cls):
             raise TypeError(
                 f"instrument {name!r} already registered as "
                 f"{type(instrument).__name__}, not {cls.__name__}"
@@ -218,14 +242,18 @@ class MetricsRegistry:
         run.
         """
         for name, instrument in other._instruments.items():
-            mine = self._get_or_create(name, type(instrument))
-            mine.merge(instrument)
+            if isinstance(instrument, Counter):
+                self.counter(name).merge(instrument)
+            elif isinstance(instrument, Timer):
+                self.timer(name).merge(instrument)
+            else:
+                self.histogram(name).merge(instrument)
 
     def __contains__(self, name: str) -> bool:
         return name in self._instruments
 
     def __iter__(self) -> Iterator[tuple[str, Counter | Timer | Histogram]]:
-        return iter(sorted(self._instruments.items()))
+        return iter(sorted(self._instruments.items(), key=lambda item: item[0]))
 
     def to_dict(self) -> dict[str, dict[str, Any]]:
         """All instruments as plain dicts, keyed by name (JSON exporters)."""

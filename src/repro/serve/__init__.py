@@ -1,0 +1,57 @@
+"""Optimizer-as-a-service: the long-running plan server.
+
+The ROADMAP's "millions of users" story: instead of one-shot CLI
+invocations, a resident asyncio server (:mod:`repro.serve.server`)
+accepts optimize requests as newline-delimited JSON over TCP, answers
+repeats from a cross-query :class:`~repro.memo.GlobalPlanCache`,
+single-flights identical in-flight queries, batches compatible work onto
+optimizer worker threads, and applies admission control with per-tenant
+token-bucket quotas.  The moving parts:
+
+* :mod:`repro.serve.protocol` — request/response schema, query
+  reconstruction, canonical cache keys, plan wire payloads;
+* :mod:`repro.serve.admission` — token buckets + in-flight caps;
+* :mod:`repro.serve.queue` — the single-flight, batching request queue;
+* :mod:`repro.serve.dispatch` — optimizer workers over the registry
+  grammar, sharing per-algorithm global plan caches;
+* :mod:`repro.serve.stats` — service instruments in a
+  :class:`~repro.obs.registry.MetricsRegistry`;
+* :mod:`repro.serve.server` — the asyncio TCP server and drain logic;
+* :mod:`repro.serve.load` — the seeded flood driver behind
+  ``benchmarks/bench_serve.py`` and ``repro serve --once``.
+
+Protocol and operational semantics are documented in ``docs/serving.md``.
+"""
+
+from repro.serve.admission import AdmissionController, TokenBucket
+from repro.serve.dispatch import Dispatcher
+from repro.serve.protocol import (
+    DEFAULT_ALGORITHM,
+    DEFAULT_TENANT,
+    PROTOCOL_VERSION,
+    OptimizeRequest,
+    RequestError,
+    build_request,
+    cache_key,
+    plan_payload,
+)
+from repro.serve.queue import RequestQueue
+from repro.serve.server import PlanServer
+from repro.serve.stats import ServiceStats
+
+__all__ = [
+    "AdmissionController",
+    "TokenBucket",
+    "Dispatcher",
+    "DEFAULT_ALGORITHM",
+    "DEFAULT_TENANT",
+    "PROTOCOL_VERSION",
+    "OptimizeRequest",
+    "RequestError",
+    "build_request",
+    "cache_key",
+    "plan_payload",
+    "RequestQueue",
+    "PlanServer",
+    "ServiceStats",
+]

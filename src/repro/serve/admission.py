@@ -1,0 +1,134 @@
+"""Admission control: in-flight caps and per-tenant token buckets.
+
+Two independent gates run before any request touches the queue:
+
+* a global **in-flight cap** sheds load when the service is saturated
+  (reason ``"overload"``) — queueing more work past that point only
+  grows latency for everyone;
+* a per-tenant **token bucket** enforces quotas (reason ``"quota"``):
+  each tenant accrues ``rate`` request tokens per second up to a
+  ``burst`` ceiling, so short bursts pass and sustained floods from one
+  tenant cannot starve the rest.
+
+The clock is injectable so tests drive refill deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.obs.timing import clock as _default_clock
+
+__all__ = ["TokenBucket", "AdmissionController", "REASON_OVERLOAD", "REASON_QUOTA"]
+
+REASON_OVERLOAD = "overload"
+REASON_QUOTA = "quota"
+
+
+class TokenBucket:
+    """A standard token bucket: ``rate`` tokens/second, ``burst`` ceiling."""
+
+    __slots__ = ("rate", "burst", "_tokens", "_clock", "_updated_at")
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        *,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if rate < 0:
+            raise ValueError(f"rate must be >= 0, got {rate}")
+        if burst <= 0:
+            raise ValueError(f"burst must be > 0, got {burst}")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock if clock is not None else _default_clock
+        self._tokens = burst
+        self._updated_at = self._clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._updated_at
+        self._updated_at = now
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    @property
+    def available(self) -> float:
+        """Tokens currently available (after refill)."""
+        self._refill()
+        return self._tokens
+
+    def try_acquire(self, amount: float = 1.0) -> bool:
+        """Take ``amount`` tokens if present; never blocks."""
+        self._refill()
+        if self._tokens < amount:
+            return False
+        self._tokens -= amount
+        return True
+
+
+class AdmissionController:
+    """Gate requests on saturation and per-tenant quotas.
+
+    ``tenant_rate=None`` disables quotas entirely (every tenant passes);
+    otherwise each tenant gets its own bucket, created on first sight.
+    Callers must pair every successful :meth:`admit` with one
+    :meth:`release` once the request finishes (success or failure).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_inflight: int = 64,
+        tenant_rate: float | None = None,
+        tenant_burst: float = 8.0,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.max_inflight = max_inflight
+        self.tenant_rate = tenant_rate
+        self.tenant_burst = tenant_burst
+        self._clock = clock
+        self._inflight = 0
+        self._buckets: dict[str, TokenBucket] = {}
+
+    @property
+    def inflight(self) -> int:
+        """Requests admitted and not yet released."""
+        return self._inflight
+
+    def bucket_for(self, tenant: str) -> TokenBucket | None:
+        """The tenant's bucket (``None`` when quotas are disabled)."""
+        if self.tenant_rate is None:
+            return None
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(
+                self.tenant_rate, self.tenant_burst, clock=self._clock
+            )
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def admit(self, tenant: str) -> str | None:
+        """Try to admit one request; returns ``None`` or a refusal reason.
+
+        The overload check runs first: a saturated service rejects even
+        in-quota tenants (their tokens are *not* consumed), so quota
+        accounting is unaffected by shed load.
+        """
+        if self._inflight >= self.max_inflight:
+            return REASON_OVERLOAD
+        bucket = self.bucket_for(tenant)
+        if bucket is not None and not bucket.try_acquire():
+            return REASON_QUOTA
+        self._inflight += 1
+        return None
+
+    def release(self) -> None:
+        """Mark one admitted request as finished."""
+        if self._inflight <= 0:
+            raise RuntimeError("release() without a matching admit()")
+        self._inflight -= 1

@@ -1,0 +1,294 @@
+"""Seeded load driver for the plan service.
+
+Floods a running server with a deterministic mixed workload in three
+phases and verifies every answer against direct registry optimization:
+
+1. **warm** — each unique query once, sequentially: all cold misses,
+   populating the cross-query plan cache;
+2. **flood** — a seeded shuffle of one repeat per unique query, spread
+   over ``concurrency`` concurrent connections: all cache hits, making
+   the suite exactly 50 % repeated so far;
+3. **burst** — one *fresh* (never-warmed) expensive query fired as
+   pipelined identical requests on one connection: the single-flight
+   path, one miss plus dedup saves.
+
+Every response's plan must be bit-identical — cost and full wire
+structure — to ``repro.registry.optimize`` run locally on the same
+query; mismatches are counted and fail the benchmark gate.  The driver
+is deliberately dependency-free (plain ``asyncio`` sockets) so it runs
+anywhere the server does.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.catalog.query import Query
+from repro.obs.timing import clock
+from repro.registry import optimize
+from repro.serve.protocol import DEFAULT_ALGORITHM
+from repro.serve.protocol import plan_payload as _plan_payload
+from repro.workloads import chain, clique, cycle, star
+from repro.workloads.weights import weighted_query
+
+__all__ = ["Workload", "LoadReport", "build_workload", "run_load"]
+
+
+def query_graph_payload(query: Query) -> dict[str, Any]:
+    """Serialize a query as the protocol's inline ``graph`` payload."""
+    return {
+        "relations": [
+            [r.name, r.cardinality, r.tuples_per_page] for r in query.relations
+        ],
+        "predicates": [
+            [query.relations[u].name, query.relations[v].name, sel]
+            for (u, v), sel in sorted(query.selectivity.items())
+        ],
+    }
+
+
+@dataclass
+class Workload:
+    """A deterministic request suite plus the queries behind it."""
+
+    algorithm: str
+    seed: int
+    queries: list[Query]  # index q: unique queries; last index is the burst
+    warm: list[dict[str, Any]]
+    flood: list[dict[str, Any]]
+    burst: list[dict[str, Any]]
+
+    @property
+    def total_requests(self) -> int:
+        return len(self.warm) + len(self.flood) + len(self.burst)
+
+
+def build_workload(
+    *,
+    unique: int = 16,
+    seed: int = 1234,
+    algorithm: str = DEFAULT_ALGORITHM,
+    burst: int = 5,
+    burst_n: int = 7,
+    sizes: tuple[int, ...] = (4, 5, 6),
+) -> Workload:
+    """Generate the three-phase suite; same seed, same bytes on the wire."""
+    if unique < 1 or burst < 2:
+        raise ValueError("need unique >= 1 and burst >= 2")
+    rng = random.Random(seed)
+    topologies = (chain, star, cycle)
+    queries = [
+        weighted_query(
+            topologies[i % len(topologies)](sizes[rng.randrange(len(sizes))]),
+            rng.randrange(1 << 30),
+        )
+        for i in range(unique)
+    ]
+    burst_query = weighted_query(clique(burst_n), rng.randrange(1 << 30))
+    queries.append(burst_query)
+
+    def request(phase: str, q: int, serial: int) -> dict[str, Any]:
+        return {
+            "id": f"{phase}:{q}:{serial}",
+            "algorithm": algorithm,
+            "tenant": f"tenant-{q % 4}",
+            "graph": query_graph_payload(queries[q]),
+        }
+
+    warm = [request("warm", q, 0) for q in range(unique)]
+    flood = [request("flood", q, 1) for q in range(unique)]
+    rng.shuffle(flood)
+    burst_requests = [request("burst", unique, k) for k in range(burst)]
+    return Workload(
+        algorithm=algorithm,
+        seed=seed,
+        queries=queries,
+        warm=warm,
+        flood=flood,
+        burst=burst_requests,
+    )
+
+
+@dataclass
+class LoadReport:
+    """What the flood observed, plus the server's own accounting."""
+
+    requests: int = 0
+    ok: int = 0
+    failed: int = 0
+    cached: int = 0
+    deduped: int = 0
+    mismatches: int = 0
+    wall_s: float = 0.0
+    latencies_s: list[float] = field(default_factory=list)
+    server_stats: dict[str, Any] = field(default_factory=dict)
+
+    def percentile_ms(self, p: float) -> float:
+        if not self.latencies_s:
+            return 0.0
+        ordered = sorted(self.latencies_s)
+        rank = max(0, min(len(ordered) - 1, round(p / 100 * len(ordered)) - 1))
+        return ordered[rank] * 1e3
+
+    @property
+    def hit_rate(self) -> float:
+        value = self.server_stats.get("stats", {}).get("hit_rate", 0.0)
+        return float(value)
+
+    @property
+    def dedup_saves(self) -> int:
+        return int(self.server_stats.get("queue", {}).get("dedup_saves", 0))
+
+    @property
+    def plans_per_sec(self) -> float:
+        return self.ok / self.wall_s if self.wall_s > 0 else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "ok": self.ok,
+            "failed": self.failed,
+            "cached": self.cached,
+            "deduped": self.deduped,
+            "mismatches": self.mismatches,
+            "wall_s": self.wall_s,
+            "plans_per_sec": self.plans_per_sec,
+            "latency_p50_ms": self.percentile_ms(50),
+            "latency_p99_ms": self.percentile_ms(99),
+            "hit_rate": self.hit_rate,
+            "dedup_saves": self.dedup_saves,
+            "server": self.server_stats,
+        }
+
+
+class _Client:
+    """One NDJSON connection with request/response helpers."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "_Client":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def send(self, payload: dict[str, Any]) -> None:
+        self._writer.write((json.dumps(payload) + "\n").encode("utf-8"))
+        await self._writer.drain()
+
+    async def recv(self) -> dict[str, Any]:
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        decoded = json.loads(line)
+        assert isinstance(decoded, dict)
+        return decoded
+
+    async def call(self, payload: dict[str, Any]) -> dict[str, Any]:
+        await self.send(payload)
+        return await self.recv()
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def _expected_payloads(workload: Workload) -> list[dict[str, Any]]:
+    """Direct registry optimization of every unique query, as JSON."""
+    expected = []
+    for query in workload.queries:
+        plan = optimize(workload.algorithm, query)
+        # Round-trip through JSON so float representations match the
+        # server's responses byte-for-byte semantics (they do exactly).
+        payload = json.loads(json.dumps(_plan_payload(plan)))
+        assert isinstance(payload, dict)
+        expected.append(payload)
+    return expected
+
+
+async def run_load(
+    host: str,
+    port: int,
+    workload: Workload,
+    *,
+    concurrency: int = 4,
+    verify: bool = True,
+) -> LoadReport:
+    """Run the three-phase suite against a live server."""
+    report = LoadReport()
+    expected = _expected_payloads(workload) if verify else None
+
+    def record(payload: dict[str, Any], response: dict[str, Any], elapsed: float) -> None:
+        report.requests += 1
+        report.latencies_s.append(elapsed)
+        if response.get("status") != "ok":
+            report.failed += 1
+            return
+        report.ok += 1
+        if response.get("cached"):
+            report.cached += 1
+        if response.get("deduped"):
+            report.deduped += 1
+        if expected is not None:
+            rid = str(response.get("id"))
+            q = int(rid.split(":")[1])
+            plan = response.get("plan", {})
+            want = expected[q]
+            if plan.get("cost") != want["cost"] or plan.get("wire") != want["wire"]:
+                report.mismatches += 1
+
+    async def run_serial(client: _Client, payloads: list[dict[str, Any]]) -> None:
+        for payload in payloads:
+            started = clock()
+            response = await client.call(payload)
+            record(payload, response, clock() - started)
+
+    started_wall = clock()
+
+    # Phase 1: warm (sequential cold misses).
+    client = await _Client.connect(host, port)
+    await run_serial(client, workload.warm)
+    await client.close()
+
+    # Phase 2: flood (concurrent repeats — all hits).
+    lanes: list[list[dict[str, Any]]] = [[] for _ in range(max(1, concurrency))]
+    for index, payload in enumerate(workload.flood):
+        lanes[index % len(lanes)].append(payload)
+
+    async def lane(payloads: list[dict[str, Any]]) -> None:
+        if not payloads:
+            return
+        lane_client = await _Client.connect(host, port)
+        await run_serial(lane_client, payloads)
+        await lane_client.close()
+
+    await asyncio.gather(*(lane(payloads) for payloads in lanes))
+
+    # Phase 3: burst (pipelined identical requests -> single-flight).
+    burst_client = await _Client.connect(host, port)
+    burst_started = clock()
+    for payload in workload.burst:
+        await burst_client.send(payload)
+    for _ in workload.burst:
+        response = await burst_client.recv()
+        record({}, response, clock() - burst_started)
+    report.wall_s = clock() - started_wall
+
+    stats = await burst_client.call({"op": "stats"})
+    await burst_client.close()
+    report.server_stats = {
+        "stats": stats.get("stats", {}),
+        "queue": stats.get("queue", {}),
+        "caches": stats.get("caches", {}),
+    }
+    return report

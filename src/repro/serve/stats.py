@@ -1,0 +1,135 @@
+"""Service-level metrics, kept in a shared :class:`MetricsRegistry`.
+
+One registry holds both tiers of telemetry: the ``serve_*`` instruments
+recorded here (request counts, cache hit/miss, dedup saves, rejections,
+queue depth, batch sizes, request latency) and the optimizer-level
+instruments (memo occupancy, time-between-joins, ...) that dispatch
+merges in per completed optimization.  All mutators take one lock —
+server-side calls come from the event loop while dispatch merges from
+worker threads, and the registry itself is not thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.obs.registry import (
+    SERVE_BATCH_SIZE,
+    SERVE_CACHE_HITS,
+    SERVE_CACHE_MISSES,
+    SERVE_DEDUP_SAVES,
+    SERVE_ERRORS,
+    SERVE_QUEUE_DEPTH,
+    SERVE_REJECTED,
+    SERVE_REQUESTS,
+    SERVE_REQUEST_SECONDS,
+    MetricsRegistry,
+)
+
+__all__ = ["ServiceStats"]
+
+
+class ServiceStats:
+    """Thread-safe facade over the service's instrument registry."""
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._lock = threading.Lock()
+        self._requests = self.registry.counter(SERVE_REQUESTS)
+        self._hits = self.registry.counter(SERVE_CACHE_HITS)
+        self._misses = self.registry.counter(SERVE_CACHE_MISSES)
+        self._dedup = self.registry.counter(SERVE_DEDUP_SAVES)
+        self._rejected = self.registry.counter(SERVE_REJECTED)
+        self._errors = self.registry.counter(SERVE_ERRORS)
+        self._depth = self.registry.histogram(SERVE_QUEUE_DEPTH)
+        self._batch = self.registry.histogram(SERVE_BATCH_SIZE)
+        self._latency = self.registry.timer(SERVE_REQUEST_SECONDS)
+
+    # -- recording ---------------------------------------------------------------
+
+    def record_request(self) -> None:
+        with self._lock:
+            self._requests.inc()
+
+    def record_hit(self) -> None:
+        with self._lock:
+            self._hits.inc()
+
+    def record_miss(self) -> None:
+        with self._lock:
+            self._misses.inc()
+
+    def record_dedup(self) -> None:
+        with self._lock:
+            self._dedup.inc()
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self._rejected.inc()
+
+    def record_error(self) -> None:
+        with self._lock:
+            self._errors.inc()
+
+    def observe_latency(self, seconds: float) -> None:
+        with self._lock:
+            self._latency.observe(seconds)
+
+    def observe_batch(self, size: int, queue_depth: int) -> None:
+        with self._lock:
+            self._batch.observe(float(size))
+            self._depth.observe(float(queue_depth))
+
+    def merge_registry(self, other: MetricsRegistry) -> None:
+        """Fold a per-optimization registry into the shared one."""
+        with self._lock:
+            self.registry.merge(other)
+
+    # -- views -------------------------------------------------------------------
+
+    @property
+    def requests(self) -> int:
+        return self._requests.value
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def dedup_saves(self) -> int:
+        return self._dedup.value
+
+    @property
+    def rejected(self) -> int:
+        return self._rejected.value
+
+    @property
+    def errors(self) -> int:
+        return self._errors.value
+
+    def hit_rate(self) -> float:
+        """Cache hits over all optimize requests answered (hit/miss/dedup)."""
+        answered = self._hits.value + self._misses.value + self._dedup.value
+        return self._hits.value / answered if answered else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready view of every service instrument."""
+        with self._lock:
+            latency = self._latency.histogram
+            return {
+                "requests": self._requests.value,
+                "cache_hits": self._hits.value,
+                "cache_misses": self._misses.value,
+                "dedup_saves": self._dedup.value,
+                "rejected": self._rejected.value,
+                "errors": self._errors.value,
+                "hit_rate": self.hit_rate(),
+                "latency": latency.to_dict(),
+                "queue_depth": self._depth.to_dict(),
+                "batch_size": self._batch.to_dict(),
+            }

@@ -71,3 +71,78 @@ class TestErrors:
     def test_bad_selectivity_value(self):
         with pytest.raises(QuerySyntaxError):
             parse_query("a(1) b(2); a-b:2.0")
+
+
+class TestErrorPositions:
+    """Structured 400-style errors: the exception pinpoints the bad token."""
+
+    @staticmethod
+    def _fail(text: str) -> QuerySyntaxError:
+        with pytest.raises(QuerySyntaxError) as excinfo:
+            parse_query(text)
+        return excinfo.value
+
+    def test_bad_relation_position(self):
+        text = "a(10) b[20]; a-b:0.5"
+        err = self._fail(text)
+        assert err.position == text.index("b[20]")
+        assert err.line == 1
+        assert err.column == text.index("b[20]") + 1
+
+    def test_bad_cardinality_points_inside_parens(self):
+        text = "a(10) b(twenty); a-b:0.5"
+        err = self._fail(text)
+        assert err.position == text.index("twenty")
+
+    def test_bad_predicate_position(self):
+        text = "a(1) b(2); a-b:0.5 a~b=0.5"
+        err = self._fail(text)
+        assert err.position == text.index("a~b=0.5")
+
+    def test_unknown_relation_right_side_position(self):
+        text = "a(1) b(2); a-c:0.5"
+        err = self._fail(text)
+        assert err.position == text.index("c:0.5")
+
+    def test_bad_selectivity_position(self):
+        text = "a(1) b(2); a-b:half"
+        err = self._fail(text)
+        assert err.position == text.index("half")
+
+    def test_out_of_range_selectivity_points_at_predicate(self):
+        text = "a(1) b(2); a-b:2.0"
+        err = self._fail(text)
+        assert err.position == text.index("a-b:2.0")
+
+    def test_multiline_line_and_column(self):
+        text = "a(10)\nb(oops);\na-b:0.5"
+        err = self._fail(text)
+        assert err.line == 2
+        assert err.column == 3  # points at "oops" inside b(...)
+
+    def test_surplus_semicolon_position(self):
+        text = "a(1); a-b:0.5; extra"
+        err = self._fail(text)
+        assert err.position == text.rindex(";")
+
+    def test_no_relations_position(self):
+        err = self._fail("; a-b:0.5")
+        assert err.position == 0
+
+    def test_semantic_error_has_no_position(self):
+        err = self._fail("a(1) b(2) c(3) d(4); a-b:0.5 c-d:0.5")
+        assert err.position is None
+        assert err.line is None and err.column is None
+
+    def test_to_dict_roundtrip(self):
+        err = self._fail("a(ten); ")
+        payload = err.to_dict()
+        assert payload["message"].startswith("bad cardinality")
+        assert payload["position"] == 2
+        assert payload["line"] == 1
+        assert payload["column"] == 3
+
+    def test_str_is_bare_message(self):
+        err = self._fail("a(ten); ")
+        assert str(err) == err.message
+        assert ";" not in str(err) or "expected" not in str(err)

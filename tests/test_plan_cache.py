@@ -10,7 +10,7 @@ import pytest
 from repro.analysis.metrics import Metrics
 from repro.catalog import Catalog, Query
 from repro.enumerator import TopDownEnumerator
-from repro.memo import GlobalPlanCache
+from repro.memo import GlobalPlanCache, MemoTable
 from repro.partition import MinCutLazy
 from repro.plans import validate_plan
 from repro.spaces import PlanSpace
@@ -100,3 +100,100 @@ class TestCrossQueryReuse:
         warm = TopDownEnumerator(q2, MinCutLazy(), memo=cache).optimize()
         cold = TopDownEnumerator(q2, MinCutLazy()).optimize()
         assert warm.cost == pytest.approx(cold.cost)
+
+
+class TestConcurrentAccess:
+    """The serve tier probes and populates one cache from worker threads.
+
+    Before the GlobalPlanCache lock, concurrent stores under a bounded
+    capacity raced the eviction path's OrderedDict mutations against
+    recency-refreshing lookups; these tests hammer exactly that mix and
+    assert the cache stays internally consistent and correct.
+    """
+
+    NAMES = list("ABCDE")
+
+    def _query_for(self, worker: int, step: int) -> Query:
+        # Rotate through overlapping 3-relation chains so threads collide
+        # on canonical keys (shared hits) as well as on fresh stores.
+        start = (worker + step) % (len(self.NAMES) - 2)
+        return make_chain_query(self.NAMES[start : start + 3], CARDS)
+
+    def test_threaded_store_and_get_consistency(self):
+        import threading
+
+        cache = GlobalPlanCache(capacity=8)
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(4)
+
+        def hammer(worker: int) -> None:
+            try:
+                barrier.wait(timeout=30)
+                for step in range(25):
+                    query = self._query_for(worker, step)
+                    full = query.graph.all_vertices
+                    TopDownEnumerator(
+                        query, MinCutLazy(), memo=MemoTable(shared=cache)
+                    ).optimize()
+                    entry = cache.get(query, full, None)
+                    if entry is not None and entry.has_plan:
+                        plan = cache.plan_for_query(query, entry)
+                        if plan is not None:
+                            assert plan.vertices == full
+            except BaseException as exc:  # surfaced on the main thread
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,), name=f"cache-hammer-{i}")
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors
+        assert len(cache) <= 8  # capacity respected through the races
+        summary = cache.summary()
+        assert summary["occupancy"] == summary["plan_cells"]
+
+    def test_threaded_results_identical_to_cold(self):
+        """Warm answers under thread contention match cold optimization."""
+        import threading
+
+        cache = GlobalPlanCache()
+        queries = [make_chain_query(self.NAMES[s : s + 3], CARDS) for s in range(3)]
+        results: dict[int, list[float]] = {i: [] for i in range(len(queries))}
+        barrier = threading.Barrier(3)
+        errors: list[BaseException] = []
+
+        def worker(index: int) -> None:
+            try:
+                barrier.wait(timeout=30)
+                for _ in range(10):
+                    query = queries[index]
+                    plan = TopDownEnumerator(
+                        query, MinCutLazy(), memo=MemoTable(shared=cache)
+                    ).optimize()
+                    results[index].append(plan.cost)
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors
+        for index, query in enumerate(queries):
+            cold = TopDownEnumerator(query, MinCutLazy()).optimize()
+            assert results[index], "thread recorded no results"
+            assert all(cost == pytest.approx(cold.cost) for cost in results[index])
+
+    def test_clear_drops_name_maps(self):
+        cache = GlobalPlanCache()
+        q1 = make_chain_query(["A", "B", "C"], CARDS)
+        TopDownEnumerator(q1, MinCutLazy(), memo=cache).optimize()
+        assert cache._name_maps
+        cache.clear()
+        assert not cache._name_maps
+        assert len(cache) == 0
