@@ -31,6 +31,11 @@ suite, the differential fuzzer (:mod:`repro.conformance.fuzz`), and the
     Every configuration of the registry matrix (strategy x workers x memo
     policy x bounding) agrees, per plan space, on one optimal cost, and
     every returned plan validates structurally against its space.
+``fastpath-parity``
+    The batched fast path (:mod:`repro.fastpath`) returns plans that
+    compare *equal* — same shape, same operators, bit-identical costs —
+    to the scalar oracle's, on every available batch backend, for both
+    exhaustive and branch-and-bound search.
 """
 
 from __future__ import annotations
@@ -48,6 +53,7 @@ from repro.analysis.metrics import Metrics
 from repro.catalog.query import Query
 from repro.conformance.oracles import is_minimal_cut, space_partition_pairs
 from repro.core.joingraph import JoinGraph
+from repro.fastpath.detect import available_backends
 from repro.partition import (
     MinCutEager,
     MinCutLazy,
@@ -71,6 +77,7 @@ __all__ = [
     "check_bnb_soundness",
     "check_ccp_closed_forms",
     "check_cut_minimality",
+    "check_fastpath_parity",
     "check_memo_soundness",
     "check_partition_completeness",
     "check_plan_agreement",
@@ -381,6 +388,63 @@ def check_memo_soundness(
     return violations
 
 
+#: (oracle, fast) registry-name pairs the parity invariant cross-checks:
+#: plain exhaustive, combined branch-and-bound, and left-deep search.
+FASTPATH_PARITY_PAIRS = (
+    ("TBNmc", "TBNmc!fast"),
+    ("TBNmcAP", "TBNmcAP!fast"),
+    ("TLNmc", "TLNmc!fast"),
+)
+
+
+def check_fastpath_parity(
+    query: Query,
+    pairs: tuple[tuple[str, str], ...] = FASTPATH_PARITY_PAIRS,
+) -> list[Violation]:
+    """The fast path is plan-for-plan identical to the scalar oracle.
+
+    For each (oracle, fast) pair the fast configuration must return a
+    plan comparing *equal* to the oracle's — same shape, same operators,
+    bit-identical costs — on every batch backend this environment can
+    build.  ``fastpath="off"`` pins the oracle side even when
+    ``REPRO_FASTPATH=on`` is ambient; under ``REPRO_FASTPATH=off`` both
+    sides run the oracle and the check degenerates to a no-op, which is
+    exactly what the escape hatch promises.
+    """
+    violations: list[Violation] = []
+    for oracle_name, fast_name in pairs:
+        oracle_plan = make_optimizer(
+            oracle_name, query, fastpath="off"
+        ).optimize()
+        for backend in available_backends():
+            fast_plan = make_optimizer(
+                fast_name, query, fastpath_backend=backend
+            ).optimize()
+            if fast_plan != oracle_plan:
+                cost_note = (
+                    "costs differ"
+                    if _costs_differ(fast_plan.cost, oracle_plan.cost)
+                    else "costs agree but shapes/operators differ"
+                )
+                violations.append(
+                    Violation(
+                        "fastpath-parity",
+                        f"{fast_name} ({backend} backend) returned a plan "
+                        f"!= oracle {oracle_name} on {query.describe()}: "
+                        f"{cost_note} (fast {fast_plan.cost!r}, oracle "
+                        f"{oracle_plan.cost!r})",
+                        _graph_subject(
+                            query.graph,
+                            algorithm=fast_name,
+                            backend=backend,
+                            fast_cost=fast_plan.cost,
+                            oracle_cost=oracle_plan.cost,
+                        ),
+                    )
+                )
+    return violations
+
+
 def check_plan_agreement(
     query: Query,
     matrix: dict[str, tuple[str, ...]] | None = None,
@@ -448,12 +512,13 @@ INVARIANTS: dict[str, Callable[..., list[Violation]]] = {
     "bnb-sound": check_bnb_soundness,
     "memo-sound": check_memo_soundness,
     "plan-agreement": check_plan_agreement,
+    "fastpath-parity": check_fastpath_parity,
 }
 
 #: Invariants taking a bare JoinGraph (exponential oracle comparisons).
 GRAPH_INVARIANTS = ("partition-complete", "cut-minimal")
 #: Invariants taking a weighted Query (differential optimization).
-QUERY_INVARIANTS = ("bnb-sound", "memo-sound", "plan-agreement")
+QUERY_INVARIANTS = ("bnb-sound", "memo-sound", "plan-agreement", "fastpath-parity")
 #: Upper bound on n for the exponential graph-level oracles.
 ORACLE_MAX_N = 8
 
@@ -488,6 +553,8 @@ def run_invariants(
             violations += check_memo_soundness(query)
         if "plan-agreement" in selected:
             violations += check_plan_agreement(query, matrix=matrix)
+        if "fastpath-parity" in selected:
+            violations += check_fastpath_parity(query)
     return violations
 
 

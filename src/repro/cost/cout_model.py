@@ -18,7 +18,8 @@ function, the standard choice in the enumeration literature
 from __future__ import annotations
 
 from repro.catalog.query import Query
-from repro.cost.io_model import CostModel
+from repro.cost.io_model import CostModel, JoinMethod
+from repro.plans.physical import Plan
 
 __all__ = ["CoutCostModel"]
 
@@ -31,7 +32,9 @@ class CoutCostModel(CostModel):
     input cardinality (it materializes the same rows once more).
     """
 
-    def scan_plans(self, query: Query, subset: int, order: int | None):
+    def scan_plans(
+        self, query: Query, subset: int, order: int | None
+    ) -> list[Plan]:
         """Scans are free under C_out (base relations are not intermediates)."""
         plans = super().scan_plans(query, subset, order)
         return [
@@ -46,15 +49,21 @@ class CoutCostModel(CostModel):
             for plan in plans
         ]
 
-    def join_operator_cost(self, method, left_pages, right_pages):
+    def join_operator_cost(
+        self, method: JoinMethod, left_pages: float, right_pages: float
+    ) -> float:
         """Unsupported: C_out is not page-based (see :meth:`operator_cost`)."""
         raise NotImplementedError("C_out is cardinality-based; use operator_cost")
 
-    def operator_cost(self, query: Query, method, left: int, right: int) -> float:
+    def operator_cost(
+        self, query: Query, method: JoinMethod, left: int, right: int
+    ) -> float:
         """Every join method costs its output cardinality."""
         return query.cardinality(left | right)
 
-    def build_join(self, query: Query, method, left_plan, right_plan):
+    def build_join(
+        self, query: Query, method: JoinMethod, left_plan: Plan, right_plan: Plan
+    ) -> Plan:
         """Assemble a join node with C_out costing."""
         combined = left_plan.vertices | right_plan.vertices
         cardinality = query.cardinality(combined)

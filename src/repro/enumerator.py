@@ -161,6 +161,14 @@ class TopDownEnumerator:
         else:
             self._memo_hot = self.memo
             self._cost_hot = self.cost_model
+        # Pre-resolved memo entry points: the memo view is fixed for the
+        # enumerator's lifetime, so one bound-method load here replaces
+        # two attribute hops on every recursion step (~31 % of wall is
+        # this glue, per BENCH_profile.json).
+        self._memo_get = self._memo_hot.get
+        self._memo_plan_for = self._memo_hot.plan_for_query
+        self._memo_store_plan = self._memo_hot.store_plan
+        self._memo_store_lower_bound = self._memo_hot.store_lower_bound
         self.registry = registry
         self._h_partitions: Histogram | None = None
         self._h_join_gap: Histogram | None = None
@@ -270,9 +278,10 @@ class TopDownEnumerator:
         """GetBestPlan: memo lookup, then scan or join calculation."""
         metrics = self.metrics
         metrics.memo_lookups += 1
-        entry = self._memo_hot.get(self.query, subset, order)
+        query = self.query
+        entry = self._memo_get(query, subset, order)
         if entry is not None and entry.has_plan:
-            plan = self._memo_hot.plan_for_query(self.query, entry)
+            plan = self._memo_plan_for(query, entry)
             if plan is not None:
                 metrics.memo_hits += 1
                 if self._tracing:
@@ -307,8 +316,8 @@ class TopDownEnumerator:
         else:
             plan = self._calc_best_join(subset, order, seed)
         if plan is not None:
-            self._memo_hot.store_plan(
-                self.query, subset, order, plan, compute_seconds=compute_seconds
+            self._memo_store_plan(
+                query, subset, order, plan, compute_seconds=compute_seconds
             )
         return plan
 
@@ -342,6 +351,17 @@ class TopDownEnumerator:
                 if sorted_plan.cost < plan_cost(best):
                     best = sorted_plan
 
+        # Hot-loop locals: attribute and bound-method lookups hoisted out
+        # of the per-candidate iteration (the `enum.recurse` glue is ~31 %
+        # of wall on Table 2 topologies).
+        tracing = self._tracing
+        get_best = self._get_best
+        methods = cost_model.JOIN_METHODS
+        build_join = cost_model.build_join
+        lower_bound = cost_model.lower_bound
+        h_join_gap = self._h_join_gap
+        note_join_costed = self._note_join_costed
+
         partitions = self.partition.partitions(query.graph, subset, metrics)
         if self._profiling:
             partitions = profiled_iter(
@@ -352,10 +372,10 @@ class TopDownEnumerator:
             partitions_seen += 1
             metrics.logical_joins_enumerated += 1
             if predicted:
-                bound = cost_model.lower_bound(query, left, right)
+                bound = lower_bound(query, left, right)
                 if bound >= plan_cost(best):
                     metrics.predicted_prunes += 1
-                    if self._tracing:
+                    if tracing:
                         self.tracer.predicted_prune(left, right, bound)
                     continue
             # Every physical method takes unordered inputs, so the child
@@ -364,7 +384,7 @@ class TopDownEnumerator:
             # the recomputation).
             left_plan = None
             right_plan = None
-            for method in cost_model.JOIN_METHODS:
+            for method in methods:
                 if order is not None:
                     produced = cost_model.join_output_order(
                         query, method, left, right
@@ -372,14 +392,14 @@ class TopDownEnumerator:
                     if produced != order:
                         continue
                 if left_plan is None:
-                    left_plan = self._get_best(left, None)
-                    right_plan = self._get_best(right, None)
+                    left_plan = get_best(left, None)
+                    right_plan = get_best(right, None)
                 if left_plan is None or right_plan is None:
                     break
-                plan = cost_model.build_join(query, method, left_plan, right_plan)
+                plan = build_join(query, method, left_plan, right_plan)
                 metrics.join_operators_costed += 1
-                if self._h_join_gap is not None:
-                    self._note_join_costed()
+                if h_join_gap is not None:
+                    note_join_costed()
                 if plan.cost < plan_cost(best):
                     best = plan
         if self._h_partitions is not None:
@@ -439,10 +459,11 @@ class TopDownEnumerator:
         """
         metrics = self.metrics
         metrics.memo_lookups += 1
-        entry = self._memo_hot.get(self.query, subset, order)
+        query = self.query
+        entry = self._memo_get(query, subset, order)
         if entry is not None:
             if entry.has_plan:
-                plan = self._memo_hot.plan_for_query(self.query, entry)
+                plan = self._memo_plan_for(query, entry)
                 if plan is not None:
                     if plan.cost <= budget:
                         metrics.memo_hits += 1
@@ -493,13 +514,13 @@ class TopDownEnumerator:
         if plan is None:
             metrics.budget_failures += 1
             if budget < INFINITY:
-                self._memo_hot.store_lower_bound(
-                    self.query, subset, order, budget,
+                self._memo_store_lower_bound(
+                    query, subset, order, budget,
                     compute_seconds=compute_seconds,
                 )
         else:
-            self._memo_hot.store_plan(
-                self.query, subset, order, plan, compute_seconds=compute_seconds
+            self._memo_store_plan(
+                query, subset, order, plan, compute_seconds=compute_seconds
             )
         return plan
 
@@ -537,6 +558,16 @@ class TopDownEnumerator:
                 if sorted_plan.cost < plan_cost(best):
                     best = sorted_plan
 
+        # Hot-loop locals, as in `_calc_best_join`.
+        tracing = self._tracing
+        get_best_budgeted = self._get_best_budgeted
+        join_methods = cost_model.JOIN_METHODS
+        build_join = cost_model.build_join
+        lower_bound = cost_model.lower_bound
+        operator_cost_of = cost_model.operator_cost
+        h_join_gap = self._h_join_gap
+        note_join_costed = self._note_join_costed
+
         partitions = self.partition.partitions(query.graph, subset, metrics)
         if self._profiling:
             partitions = profiled_iter(
@@ -550,14 +581,14 @@ class TopDownEnumerator:
             if predicted:
                 # Paper Section 4.2: explore only if the lower bound does
                 # not exceed min(B, Cost(BestPlan)).
-                bound = cost_model.lower_bound(query, left, right)
+                bound = lower_bound(query, left, right)
                 if bound > cap:
                     metrics.predicted_prunes += 1
-                    if self._tracing:
+                    if tracing:
                         self.tracer.predicted_prune(left, right, bound)
                     continue
             methods: list[tuple[float, JoinMethod]] = []
-            for method in cost_model.JOIN_METHODS:
+            for method in join_methods:
                 if order is not None:
                     produced = cost_model.join_output_order(
                         query, method, left, right
@@ -565,7 +596,7 @@ class TopDownEnumerator:
                     if produced != order:
                         continue
                 methods.append(
-                    (cost_model.operator_cost(query, method, left, right), method)
+                    (operator_cost_of(query, method, left, right), method)
                 )
             if not methods:
                 continue
@@ -579,20 +610,20 @@ class TopDownEnumerator:
             remaining = cap - cheapest
             if remaining < 0:
                 continue
-            left_plan = self._get_best_budgeted(left, None, remaining)
+            left_plan = get_best_budgeted(left, None, remaining)
             if left_plan is None:
                 continue
             remaining -= left_plan.cost
-            right_plan = self._get_best_budgeted(right, None, remaining)
+            right_plan = get_best_budgeted(right, None, remaining)
             if right_plan is None:
                 continue
             for operator_cost, method in methods:
                 total = left_plan.cost + right_plan.cost + operator_cost
                 metrics.join_operators_costed += 1
-                if self._h_join_gap is not None:
-                    self._note_join_costed()
+                if h_join_gap is not None:
+                    note_join_costed()
                 if total <= min(budget, plan_cost(best)) and total < plan_cost(best):
-                    best = cost_model.build_join(
+                    best = build_join(
                         query, method, left_plan, right_plan
                     )
         if self._h_partitions is not None:

@@ -1,0 +1,132 @@
+"""Fast-path detection shim: the only module that may import numpy.
+
+Everything the accelerated substrate needs to know about its
+environment is probed here, once, behind small functions:
+
+* ``numpy_or_none()`` — the optional numpy module (cached import probe).
+  The ``fastpath-guard`` lint rule enforces that no other module under
+  ``src/repro`` imports numpy directly, so the pure-python oracle stays
+  dependency-free by construction.
+* ``is_compiled(module)`` / ``compiled_core_active()`` — whether the
+  mypyc-compiled optional build (``pip install -e .[compiled]`` with
+  ``REPRO_COMPILE=1``) replaced the hot modules with C extensions.
+* ``fastpath_mode()`` / ``resolve_fastpath()`` — the ``REPRO_FASTPATH``
+  escape hatch (``off`` disables the fast path everywhere, ``on`` forces
+  it for every top-down run, ``auto`` — the default — activates it only
+  where requested via the ``!fast`` registry suffix or
+  ``--fastpath on``).
+
+Precedence, most binding first: ``REPRO_FASTPATH=off`` > an explicit
+``on``/``off`` override (CLI flag or ``make_optimizer(fastpath=...)``)
+> ``REPRO_FASTPATH=on`` > the ``!fast`` name suffix > default (oracle).
+"""
+
+from __future__ import annotations
+
+import os
+from types import ModuleType
+from typing import Any
+
+__all__ = [
+    "FASTPATH_ENV",
+    "available_backends",
+    "compiled_core_active",
+    "default_backend",
+    "fastpath_mode",
+    "is_compiled",
+    "numpy_or_none",
+    "resolve_fastpath",
+]
+
+#: Environment escape hatch: ``off`` | ``on`` | ``auto`` (default).
+FASTPATH_ENV = "REPRO_FASTPATH"
+
+#: Cached result of the numpy import probe (module, None, or unset).
+_NUMPY_PROBE: list[Any] = []
+
+
+def numpy_or_none() -> Any:
+    """The numpy module if importable, else ``None`` (probed once).
+
+    Tests simulate a numpy-free environment by monkeypatching the
+    cached slot (:func:`_reset_numpy_probe`); production code must call
+    this shim instead of importing numpy so the fallback is exercised
+    uniformly.
+    """
+    if not _NUMPY_PROBE:
+        try:
+            import numpy
+        except ImportError:
+            _NUMPY_PROBE.append(None)
+        else:
+            _NUMPY_PROBE.append(numpy)
+    return _NUMPY_PROBE[0]
+
+
+def _reset_numpy_probe(value: Any = None, *, clear: bool = False) -> None:
+    """Test hook: override (or with ``clear``, re-arm) the numpy probe."""
+    _NUMPY_PROBE.clear()
+    if not clear:
+        _NUMPY_PROBE.append(value)
+
+
+def is_compiled(module: ModuleType) -> bool:
+    """Whether ``module`` was replaced by a compiled extension."""
+    return str(getattr(module, "__file__", "")).endswith((".so", ".pyd"))
+
+
+def compiled_core_active() -> bool:
+    """Whether the optional mypyc build of the hot core is loaded.
+
+    ``repro.core.bitset`` is the canary: it is first in the compile list
+    of ``setup.py``, so its module kind reflects the whole build.  Note
+    that ``REPRO_FASTPATH=off`` cannot *unload* an installed compiled
+    core — it only disables the batched fast-path enumerator; rebuild
+    without ``REPRO_COMPILE=1`` to get byte-code modules back.
+    """
+    from repro.core import bitset
+
+    return is_compiled(bitset)
+
+
+def fastpath_mode() -> str:
+    """The ``REPRO_FASTPATH`` setting: ``auto`` (default), ``on``, ``off``."""
+    value = os.environ.get(FASTPATH_ENV, "auto").strip().lower() or "auto"
+    if value not in {"auto", "on", "off"}:
+        raise ValueError(
+            f"invalid {FASTPATH_ENV}={value!r}; expected auto, on, or off"
+        )
+    return value
+
+
+def resolve_fastpath(requested: bool, override: str | None = None) -> bool:
+    """Decide whether a run should use the fast path.
+
+    ``requested`` is the per-name signal (the ``!fast`` suffix);
+    ``override`` an explicit ``on``/``off``/``auto`` from the CLI or a
+    ``make_optimizer(fastpath=...)`` caller (``None`` means ``auto``).
+    ``REPRO_FASTPATH=off`` beats everything — it is the escape hatch
+    that must make the whole suite run the oracle.
+    """
+    mode = fastpath_mode()
+    if mode == "off":
+        return False
+    if override == "off":
+        return False
+    if override == "on":
+        return True
+    if mode == "on":
+        return True
+    return requested
+
+
+def default_backend() -> str:
+    """The batch backend a fresh kernel picks: numpy when importable."""
+    return "numpy" if numpy_or_none() is not None else "python"
+
+
+def available_backends() -> tuple[str, ...]:
+    """Every batch backend buildable in this environment."""
+    if numpy_or_none() is not None:
+        return ("python", "numpy")
+    return ("python",)

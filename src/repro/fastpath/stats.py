@@ -1,0 +1,57 @@
+"""Per-query memoized operand statistics for the batch cost kernel.
+
+The scalar cost model recomputes ``query.pages(subset)`` (a cardinality
+scale plus a division) and — for sort-merge joins — a full
+``external_sort_cost`` every time a candidate touches a subset, although
+within one enumeration the same subsets recur across thousands of
+candidate pairs.  :class:`OperandStats` memoizes those per-subset scalars
+once per query, so recosting a join is three dictionary lookups.
+
+Exactness contract: every value returned is produced by the *scalar*
+functions of the oracle cost model (``Query.pages``,
+``external_sort_cost``) and cached verbatim — never recomputed through a
+different formula — so batch costs assembled from these stats are
+bit-identical to the per-candidate oracle costs.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.query import Query
+from repro.cost.io_model import CostModel, external_sort_cost
+
+__all__ = ["OperandStats"]
+
+
+class OperandStats:
+    """Memoized per-subset scalars (pages, sort cost, cardinality)."""
+
+    __slots__ = ("query", "model", "_pages", "_sort_costs")
+
+    def __init__(self, query: Query, model: CostModel) -> None:
+        self.query = query
+        self.model = model
+        self._pages: dict[int, float] = {}
+        self._sort_costs: dict[int, float] = {}
+
+    def cardinality(self, subset: int) -> float:
+        """Output cardinality of ``subset`` (cached inside the query)."""
+        return self.query.cardinality(subset)
+
+    def pages(self, subset: int) -> float:
+        """``query.pages(subset)``, memoized per subset."""
+        pages = self._pages.get(subset)
+        if pages is None:
+            pages = self.query.pages(subset)
+            self._pages[subset] = pages
+        return pages
+
+    def sort_cost(self, subset: int) -> float:
+        """External-sort cost of ``subset``'s pages, memoized per subset."""
+        cost = self._sort_costs.get(subset)
+        if cost is None:
+            cost = external_sort_cost(self.pages(subset), self.model.buffer_pages)
+            self._sort_costs[subset] = cost
+        return cost
+
+    def __len__(self) -> int:
+        return len(self._pages) + len(self._sort_costs)

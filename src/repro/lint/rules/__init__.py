@@ -19,6 +19,7 @@ from repro.lint.rules.determinism import (
     SetIterationOrderRule,
     UnseededRandomRule,
 )
+from repro.lint.rules.fastpath import FastpathGuardRule
 from repro.lint.rules.hotpath import HotPathPurityRule
 from repro.lint.rules.layering import LAYERS, ImportLayeringRule
 from repro.lint.rules.metrics import InstrumentNameRule, MetricsFieldRule
@@ -26,7 +27,7 @@ from repro.lint.rules.metrics import InstrumentNameRule, MetricsFieldRule
 __all__ = ["ALL_RULES", "LAYERS", "rule_by_name"]
 
 #: Every built-in rule, in catalog order (determinism, bitset, hot path,
-#: metrics, layering).
+#: fast path, metrics, layering).
 ALL_RULES: tuple[Rule, ...] = (
     UnseededRandomRule(),
     SetIterationOrderRule(),
@@ -35,6 +36,7 @@ ALL_RULES: tuple[Rule, ...] = (
     BitsetMaterializationRule(),
     PerBitLoopRule(),
     HotPathPurityRule(),
+    FastpathGuardRule(),
     MetricsFieldRule(),
     InstrumentNameRule(),
     ImportLayeringRule(),

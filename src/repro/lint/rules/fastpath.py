@@ -1,0 +1,75 @@
+"""Fast-path dependency guard: optional accelerators stay optional.
+
+The fast path (``repro.fastpath``) accelerates with numpy when it is
+importable and with a mypyc-compiled core when the ``[compiled]`` extra
+was built — but the repro must keep producing byte-identical results on
+a bare python install (the acceptance gates run without either).  That
+only holds if *every* probe for an optional accelerator goes through the
+single detection shim ``repro.fastpath.detect``: one bare
+``import numpy`` at module level anywhere else turns a soft capability
+into a hard dependency and breaks numpy-free environments at import
+time, silently, for every entry point that transitively loads the
+module.
+
+This rule flags any ``import``/``from ... import`` of an optional
+accelerator package (``numpy``, ``mypyc``) outside the detection shim —
+lazy function-scoped imports included, because a deferred hard
+dependency still detonates on first call.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import ERROR, Finding, ModuleSource, Rule
+
+__all__ = ["FastpathGuardRule"]
+
+#: Optional-accelerator top-level packages that only the shim may touch.
+_GUARDED_PACKAGES = frozenset({"numpy", "mypyc"})
+
+#: The one module allowed to import accelerators directly: the cached
+#: capability probe every other consumer asks.
+_DETECTION_SHIM = "repro.fastpath.detect"
+
+
+class FastpathGuardRule(Rule):
+    """Optional accelerators may only be imported by the detection shim.
+
+    Flags ``import numpy``/``from numpy import ...`` (and ``mypyc``)
+    in any module except ``repro.fastpath.detect``; consumers must call
+    :func:`repro.fastpath.detect.numpy_or_none` so availability is
+    probed once, cached, and overridable in tests.
+    """
+
+    name = "fastpath-guard"
+    severity = ERROR
+    description = (
+        "optional accelerator imported outside the repro.fastpath.detect "
+        "shim, turning a soft capability into a hard dependency"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if module.module == _DETECTION_SHIM:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                names = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or not node.module:
+                    continue  # relative imports cannot leave repro
+                names = [node.module]
+            else:
+                continue
+            for name in names:
+                top = name.split(".", 1)[0]
+                if top in _GUARDED_PACKAGES:
+                    yield module.finding(
+                        self,
+                        node,
+                        f"direct import of optional accelerator {top!r}; "
+                        "go through repro.fastpath.detect (e.g. "
+                        "numpy_or_none()) so availability stays a probed "
+                        "capability, not a hard dependency",
+                    )

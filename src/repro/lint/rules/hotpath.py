@@ -70,7 +70,7 @@ class HotPathPurityRule(Rule):
         "string/log/tracer/profiler payload built outside an "
         "instrumentation-active guard on the enumeration hot path"
     )
-    scope = ("repro.enumerator", "repro.partition")
+    scope = ("repro.enumerator", "repro.partition", "repro.fastpath")
 
     def check(self, module: ModuleSource) -> Iterator[Finding]:
         findings: list[Finding] = []

@@ -4,7 +4,7 @@ The architecture is a strict layering (lowest first)::
 
     core → {spaces, catalog} → {analysis, workloads, plans}
          → {obs, cost, cache, exec} → partition
-         → {memo, bottomup, prefix, transform} → enumerator
+         → {memo, bottomup, prefix, transform} → {enumerator, fastpath}
          → parallel → registry → {multiphase, serve} → experiments
          → conformance → {lint, cli}
 
@@ -53,6 +53,7 @@ LAYERS: dict[str, int] = {
     "repro.prefix": 5,
     "repro.transform": 5,
     "repro.enumerator": 6,
+    "repro.fastpath": 6,  # peers with the oracle it subclasses
     "repro.registry": 7,
     "repro.parallel": 8,
     "repro.multiphase": 9,

@@ -29,6 +29,13 @@ memo with the named eviction policy (Section 5.1 / Figures 21–30):
 cost-aware GreedyDual policy.  Policies: ``lru``, ``smallest``,
 ``cost``, ``profile``.  Both suffixes compose in either order
 (``TBNmc%cost:64@2`` ≡ ``TBNmc@2%cost:64``).
+
+A trailing ``!fast`` requests the conformance-checked fast path
+(:mod:`repro.fastpath`): the same top-down search with frontier-batched
+costing, bit-identical plans.  It composes with the other suffixes in
+any order; the canonical form puts it last (``TBNmc@2%cost:64!fast``).
+``REPRO_FASTPATH=off`` overrides the suffix everywhere (see
+:func:`repro.fastpath.detect.resolve_fastpath` for the precedence).
 """
 
 from __future__ import annotations
@@ -44,6 +51,8 @@ from repro.cost.io_model import CostModel
 from repro.cache.costing import CostProfile
 from repro.cache.policies import POLICY_NAMES
 from repro.enumerator import Bounding, TopDownEnumerator
+from repro.fastpath.detect import resolve_fastpath
+from repro.fastpath.enumerator import FastTopDownEnumerator
 from repro.memo import GlobalPlanCache, MemoTable
 from repro.obs.profile import KernelProfiler
 from repro.obs.registry import MetricsRegistry
@@ -70,6 +79,7 @@ __all__ = [
     "optimize",
     "parse_name",
     "resolve_alias",
+    "split_fastpath",
     "split_memo_policy",
     "split_workers",
 ]
@@ -212,6 +222,30 @@ def split_workers(name: str) -> tuple[str, int | None]:
     return base, workers
 
 
+def split_fastpath(name: str) -> tuple[str, bool]:
+    """Split a ``!fast`` suffix out of an algorithm name.
+
+    The suffix composes with ``@N`` and ``%policy`` in any order
+    (``TBNmc!fast@2`` ≡ ``TBNmc@2!fast``): whatever suffix text follows
+    the ``fast`` token is reattached to the returned base.  Names
+    without ``!`` return ``(name, False)``.
+    """
+    base, sep, tail = name.partition("!")
+    if not sep:
+        return name, False
+    token, rest = tail, ""
+    for index, char in enumerate(tail):
+        if char in "@%":
+            token, rest = tail[:index], tail[index:]
+            break
+    if token.lower() != "fast":
+        raise ValueError(
+            f"unknown !-suffix in algorithm name {name!r}; "
+            "the only recognised form is !fast"
+        )
+    return base + rest, True
+
+
 def resolve_alias(name: str) -> str:
     """Map a friendly alias to its Table 1 name; other names pass through.
 
@@ -220,8 +254,11 @@ def resolve_alias(name: str) -> str:
     worker-count suffix is preserved too, and overrides any count the
     alias itself carries (``parallel@2`` resolves to ``TBNmc@2``); a
     ``%policy`` memo suffix is carried along unchanged
-    (``mincutlazy%cost:64`` resolves to ``TBNmc%cost:64``).
+    (``mincutlazy%cost:64`` resolves to ``TBNmc%cost:64``), as is a
+    ``!fast`` suffix, normalised to canonical last position
+    (``mincutlazy!fast@2`` resolves to ``TBNmc@2!fast``).
     """
+    name, fast = split_fastpath(name)
     name, memo_spec = split_memo_policy(name)
     base, workers = split_workers(name)
     normalized = base.lower().replace("-", "").replace("_", "")
@@ -246,16 +283,20 @@ def resolve_alias(name: str) -> str:
             if memo_spec.cold_capacity:
                 suffix += f":{memo_spec.cold_capacity}"
         resolved_base += suffix
+    if fast:
+        resolved_base += "!fast"
     return resolved_base
 
 
 def parse_name(name: str) -> AlgorithmSpec:
     """Parse a Table 1 style algorithm name (or a friendly alias).
 
-    ``@N`` worker-count and ``%policy`` memo suffixes are accepted and
-    ignored: the spec describes the underlying serial algorithm.
+    ``@N`` worker-count, ``%policy`` memo, and ``!fast`` suffixes are
+    accepted and ignored: the spec describes the underlying serial
+    algorithm.
     """
-    base, _memo_spec = split_memo_policy(resolve_alias(name))
+    base, _fast = split_fastpath(resolve_alias(name))
+    base, _memo_spec = split_memo_policy(base)
     base, _workers = split_workers(base)
     match = _NAME_PATTERN.match(base)
     if match is None:
@@ -332,6 +373,8 @@ def conformance_matrix(
             f"TBNmc%cost:{memo_capacity}",
             f"TBNmc%profile:{memo_capacity}",
             f"TBNmc%lru:{memo_capacity}:{memo_capacity}",
+            "TBNmc!fast",
+            "TBNmcAP!fast",
         ),
         "left-deep-cp-free": (
             "TLNmc",
@@ -340,17 +383,20 @@ def conformance_matrix(
             "TLNmcA",
             "TLNmcP",
             "TLNmcAP",
+            "TLNmc!fast",
         ),
         "bushy-with-cp": (
             "TBCnaive",
             "BBCnaive",
             "BBCsize",
             "TBCnaiveAP",
+            "TBCnaive!fast",
         ),
         "left-deep-with-cp": (
             "TLCnaive",
             "BLCsize",
             "TLCnaiveAP",
+            "TLCnaive!fast",
         ),
     }
 
@@ -391,6 +437,8 @@ def make_optimizer(
     memo_cold_capacity: int | None = None,
     memo_profile: CostProfile | None = None,
     global_cache: GlobalPlanCache | None = None,
+    fastpath: str | None = None,
+    fastpath_backend: str | None = None,
 ):
     """Instantiate the named algorithm over ``query``.
 
@@ -417,12 +465,45 @@ def make_optimizer(
     attaches a cross-query :class:`~repro.memo.GlobalPlanCache` as the
     memo's shared read-through tier.  These are mutually exclusive with
     passing a prebuilt ``memo``.
+
+    The fast path (:mod:`repro.fastpath`) is selected by a ``!fast``
+    suffix on ``name`` and/or the explicit ``fastpath`` override
+    (``"on"`` | ``"off"`` | ``"auto"``/``None``), subject to the
+    ``REPRO_FASTPATH`` environment escape hatch — precedence per
+    :func:`repro.fastpath.detect.resolve_fastpath`.  It requires a
+    top-down algorithm and is incompatible with kernel profiling: an
+    *explicitly* requested fast path raises on either conflict, while
+    an ambient ``REPRO_FASTPATH=on`` silently keeps the oracle.
+    ``fastpath_backend`` pins the batch backend (``"python"`` |
+    ``"numpy"``) for serial fast-path runs; workers auto-detect.
     """
-    base, memo_spec = split_memo_policy(resolve_alias(name))
+    if fastpath not in {None, "auto", "on", "off"}:
+        raise ValueError(
+            f"invalid fastpath override {fastpath!r}; expected auto, on, or off"
+        )
+    resolved, fast_requested = split_fastpath(resolve_alias(name))
+    base, memo_spec = split_memo_policy(resolved)
     base, suffix_workers = split_workers(base)
     if workers is None:
         workers = suffix_workers
     spec = parse_name(base)
+    use_fast = resolve_fastpath(fast_requested, fastpath)
+    fast_explicit = fast_requested or fastpath == "on"
+    if use_fast and not spec.top_down:
+        if fast_explicit:
+            raise ValueError(
+                f"{name!r}: the fast path accelerates top-down partition "
+                "search; bottom-up algorithms have no batched equivalent"
+            )
+        use_fast = False  # ambient REPRO_FASTPATH=on: keep the oracle
+    if use_fast and profiler is not None:
+        if fast_explicit:
+            raise ValueError(
+                f"{name!r}: kernel profiling requires the oracle path "
+                "(its frames attribute scalar cost calls); drop !fast "
+                "or pass fastpath='off'"
+            )
+        use_fast = False  # ambient REPRO_FASTPATH=on: keep the oracle
 
     wants_memo_config = (
         memo_spec is not None
@@ -472,7 +553,7 @@ def make_optimizer(
 
         return ParallelEnumerator(
             query,
-            base,
+            base + "!fast" if use_fast else base,
             workers,
             policy=parallel_policy,
             cost_model=cost_model,
@@ -485,6 +566,18 @@ def make_optimizer(
             global_cache=global_cache,
         )
     if spec.top_down:
+        if use_fast:
+            return FastTopDownEnumerator(
+                query,
+                _partition_for(spec),
+                cost_model,
+                backend=fastpath_backend,
+                bounding=spec.bounding,
+                memo=memo,
+                metrics=metrics,
+                tracer=tracer,
+                registry=registry,
+            )
         return TopDownEnumerator(
             query,
             _partition_for(spec),

@@ -1,0 +1,360 @@
+"""Tests for ``repro.fastpath``: batched costing behind the oracle's back.
+
+The contract under test is *bit-identical parity*: every batch kernel
+value equals the scalar model's output exactly (``==``, no tolerance),
+every fast-path plan compares equal to the oracle's, and the enumeration
+metrics are conserved.  The selection surfaces — ``!fast`` grammar,
+``REPRO_FASTPATH``, ``make_optimizer(fastpath=...)``, the CLI flag — and
+the numpy-free fallback are covered alongside.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import Metrics
+from repro.cost import CostModel, CoutCostModel
+from repro.enumerator import TopDownEnumerator
+from repro.fastpath import (
+    BatchCostKernel,
+    FastTopDownEnumerator,
+    OperandStats,
+    available_backends,
+    default_backend,
+    numpy_or_none,
+    resolve_fastpath,
+)
+from repro.fastpath.detect import _reset_numpy_probe, fastpath_mode
+from repro.obs.profile import RecordingProfiler
+from repro.partition import MinCutLazy, NaiveBushyCPFree
+from repro.registry import make_optimizer, parse_name, resolve_alias, split_fastpath
+from repro.workloads import chain, clique, cycle, star
+from repro.workloads.skewed import PROFILES, skewed_query
+from repro.workloads.weights import weighted_query
+
+TOPOLOGIES = {
+    "chain": chain,
+    "star": star,
+    "cycle": cycle,
+    "clique": clique,
+}
+
+BACKENDS = available_backends()
+
+
+@pytest.fixture(autouse=True)
+def _neutral_fastpath_env(monkeypatch):
+    """These tests pin the selection surface themselves; an ambient
+    ``REPRO_FASTPATH`` (e.g. the escape-hatch CI sweep) must not leak in.
+    Tests covering the env re-set it explicitly via ``monkeypatch``."""
+    monkeypatch.delenv("REPRO_FASTPATH", raising=False)
+
+
+def _frontier_pairs(query, max_pairs=400):
+    """Every (left, right) candidate an enumeration would cost."""
+    graph = query.graph
+    strategy = MinCutLazy()
+    metrics = Metrics()
+    pairs = []
+    from repro.core.bitset import iter_subsets
+
+    for subset in iter_subsets(graph.all_vertices):
+        if subset.bit_count() < 2 or not graph.is_connected(subset):
+            continue
+        pairs.extend(strategy.partitions(graph, subset, metrics))
+        if len(pairs) >= max_pairs:
+            break
+    return pairs
+
+
+class TestBatchKernelParity:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        topology=st.sampled_from(sorted(TOPOLOGIES)),
+        n=st.integers(min_value=4, max_value=7),
+        profile=st.sampled_from(PROFILES),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        model_kind=st.sampled_from(["io", "cout"]),
+        backend=st.sampled_from(BACKENDS),
+    )
+    def test_batch_equals_scalar_bitwise(
+        self, topology, n, profile, seed, model_kind, backend
+    ):
+        """Batch costs and bounds == scalar model outputs, bit for bit."""
+        query = skewed_query(TOPOLOGIES[topology](n), profile, seed)
+        model = CoutCostModel() if model_kind == "cout" else CostModel()
+        kernel = BatchCostKernel(query, model, backend=backend)
+        pairs = _frontier_pairs(query)
+        costs = kernel.operator_costs(pairs)
+        bounds = kernel.lower_bounds(pairs)
+        for (left, right), row, bound in zip(pairs, costs, bounds):
+            expected = tuple(
+                model.operator_cost(query, method, left, right)
+                for method in model.JOIN_METHODS
+            )
+            assert row == expected, (left, right)
+            assert bound == model.lower_bound(query, left, right)
+
+    def test_generic_model_falls_back_to_scalar_hooks(self):
+        class DoubledCout(CoutCostModel):
+            def operator_cost(self, query, method, left, right):
+                return 2.0 * super().operator_cost(query, method, left, right)
+
+        query = weighted_query(clique(5), 7)
+        model = DoubledCout()
+        kernel = BatchCostKernel(query, model)
+        assert kernel.mode == "generic"
+        pairs = _frontier_pairs(query)
+        for (left, right), row in zip(pairs, kernel.operator_costs(pairs)):
+            assert row[0] == 2.0 * query.cardinality(left | right)
+
+    def test_mode_and_backend_selection(self):
+        query = weighted_query(star(5), 1)
+        assert BatchCostKernel(query, CoutCostModel()).mode == "cout"
+        io_kernel = BatchCostKernel(query, CostModel())
+        assert io_kernel.mode == "io"
+        assert io_kernel.backend == default_backend()
+        # A gather gains nothing from numpy: cout pins the python backend.
+        assert BatchCostKernel(query, CoutCostModel()).backend == "python"
+        with pytest.raises(ValueError):
+            BatchCostKernel(query, CostModel(), backend="fortran")
+
+    def test_operand_stats_memoize(self):
+        query = weighted_query(chain(4), 2)
+        stats = OperandStats(query, CostModel())
+        assert len(stats) == 0
+        first = stats.sort_cost(0b0011)
+        assert first == stats.sort_cost(0b0011)
+        assert stats.pages(0b0011) == query.pages(0b0011)
+        assert len(stats) == 2  # one pages cell + one sort cell
+
+
+class TestEnumeratorParity:
+    @pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+    @pytest.mark.parametrize("suffix", ["", "AP"])
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_plan_and_metrics_parity(self, topology, suffix, backend):
+        n = 6 if topology == "clique" else 7
+        query = weighted_query(TOPOLOGIES[topology](n), n)
+        oracle_metrics = Metrics()
+        oracle = make_optimizer(
+            f"TBNmc{suffix}", query, metrics=oracle_metrics, fastpath="off"
+        ).optimize()
+        fast_metrics = Metrics()
+        fast = make_optimizer(
+            f"TBNmc{suffix}!fast",
+            query,
+            metrics=fast_metrics,
+            fastpath_backend=backend,
+        ).optimize()
+        assert fast == oracle
+        for counter in (
+            "logical_joins_enumerated",
+            "join_operators_costed",
+            "predicted_prunes",
+            "memo_lookups",
+            "peak_memo_cells",
+        ):
+            assert getattr(fast_metrics, counter) == getattr(
+                oracle_metrics, counter
+            ), counter
+
+    def test_parity_across_runtime_variants(self):
+        """!fast composes with @N workers and %policy memos unchanged."""
+        query = weighted_query(clique(6), 6)
+        reference = make_optimizer("TBNmc", query, fastpath="off").optimize()
+        for variant in ("TBNmc%cost:24!fast", "TBNmc@2!fast"):
+            assert make_optimizer(variant, query).optimize() == reference, variant
+
+    def test_io_model_parity(self):
+        query = weighted_query(star(7), 7)
+        model = CostModel()
+        oracle = make_optimizer(
+            "TBNmc", query, CostModel(), fastpath="off"
+        ).optimize()
+        for backend in BACKENDS:
+            fast = make_optimizer(
+                "TBNmc!fast", query, CostModel(), fastpath_backend=backend
+            ).optimize()
+            assert fast == oracle, backend
+
+    def test_ordered_requests_delegate_to_oracle(self):
+        query = weighted_query(chain(5), 5)
+        fast = FastTopDownEnumerator(query, MinCutLazy(), CostModel())
+        oracle = TopDownEnumerator(query, MinCutLazy(), CostModel())
+        order = 0  # "sorted on relation 0's join key"
+        assert fast.optimize(order) == oracle.optimize(order)
+
+    def test_refuses_kernel_profiler(self):
+        query = weighted_query(chain(4), 4)
+        with pytest.raises(ValueError, match="profil"):
+            FastTopDownEnumerator(
+                query, MinCutLazy(), CostModel(), profiler=RecordingProfiler()
+            )
+
+
+class TestGrammar:
+    def test_split_fastpath(self):
+        assert split_fastpath("TBNmc") == ("TBNmc", False)
+        assert split_fastpath("TBNmc!fast") == ("TBNmc", True)
+        assert split_fastpath("TBNmc!FAST") == ("TBNmc", True)
+        assert split_fastpath("TBNmc!fast@2") == ("TBNmc@2", True)
+        assert split_fastpath("TBNmc!fast%cost:64") == ("TBNmc%cost:64", True)
+        assert split_fastpath("TBNmc%cost:64!fast") == ("TBNmc%cost:64", True)
+
+    def test_split_fastpath_rejects_unknown_suffix(self):
+        for bad in ("TBNmc!", "TBNmc!turbo", "TBNmc!fast2"):
+            with pytest.raises(ValueError):
+                split_fastpath(bad)
+
+    def test_resolve_alias_canonicalizes_suffix_order(self):
+        assert resolve_alias("mincutlazy!fast") == "TBNmc!fast"
+        assert resolve_alias("TBNmc!fast@2%cost:64") == "TBNmc@2%cost:64!fast"
+        assert resolve_alias("parallel!fast") == "TBNmc@4!fast"
+
+    def test_parse_name_ignores_fast(self):
+        spec = parse_name("TBNmcAP!fast")
+        assert spec.name == "TBNmcAP"
+        assert spec.top_down
+
+    def test_bottom_up_fast_is_an_error(self):
+        query = weighted_query(chain(4), 4)
+        with pytest.raises(ValueError, match="top-down"):
+            make_optimizer("BBNccp!fast", query)
+
+
+class TestSelection:
+    def test_resolve_fastpath_precedence(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FASTPATH", raising=False)
+        assert resolve_fastpath(False) is False
+        assert resolve_fastpath(True) is True
+        assert resolve_fastpath(False, "on") is True
+        assert resolve_fastpath(True, "off") is False
+        monkeypatch.setenv("REPRO_FASTPATH", "on")
+        assert resolve_fastpath(False) is True
+        assert resolve_fastpath(False, "off") is False
+        monkeypatch.setenv("REPRO_FASTPATH", "off")
+        assert resolve_fastpath(True, "on") is False
+
+    def test_fastpath_mode_validation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FASTPATH", "maybe")
+        with pytest.raises(ValueError):
+            fastpath_mode()
+
+    def test_env_off_is_the_escape_hatch(self, monkeypatch):
+        query = weighted_query(chain(5), 5)
+        monkeypatch.setenv("REPRO_FASTPATH", "off")
+        optimizer = make_optimizer("TBNmc!fast", query)
+        assert type(optimizer) is TopDownEnumerator
+
+    def test_env_on_keeps_oracle_for_bottom_up_and_profiled(self, monkeypatch):
+        query = weighted_query(chain(5), 5)
+        monkeypatch.setenv("REPRO_FASTPATH", "on")
+        assert type(make_optimizer("TBNmc", query)) is FastTopDownEnumerator
+        assert not isinstance(
+            make_optimizer("BBNccp", query), FastTopDownEnumerator
+        )
+        profiled = make_optimizer(
+            "TBNmc", query, profiler=RecordingProfiler()
+        )
+        assert type(profiled) is TopDownEnumerator
+
+    def test_invalid_override_rejected(self):
+        query = weighted_query(chain(4), 4)
+        with pytest.raises(ValueError, match="fastpath"):
+            make_optimizer("TBNmc", query, fastpath="sometimes")
+
+
+class TestNumpyFreeFallback:
+    @pytest.fixture
+    def no_numpy(self):
+        _reset_numpy_probe(None)
+        yield
+        _reset_numpy_probe(clear=True)
+
+    def test_detection_reports_python_only(self, no_numpy):
+        assert numpy_or_none() is None
+        assert default_backend() == "python"
+        assert available_backends() == ("python",)
+
+    def test_numpy_backend_request_fails_loudly(self, no_numpy):
+        query = weighted_query(chain(4), 4)
+        with pytest.raises(ValueError, match="numpy"):
+            BatchCostKernel(query, CostModel(), backend="numpy")
+
+    def test_fast_path_still_works_and_agrees(self, no_numpy):
+        query = weighted_query(star(6), 6)
+        optimizer = make_optimizer("TBNmc!fast", query)
+        assert optimizer.fastpath_backend == "python"
+        oracle = make_optimizer("TBNmc", query, fastpath="off").optimize()
+        assert optimizer.optimize() == oracle
+
+
+class TestConformanceIntegration:
+    def test_invariant_is_registered(self):
+        from repro.conformance.invariants import INVARIANTS, QUERY_INVARIANTS
+
+        assert "fastpath-parity" in INVARIANTS
+        assert "fastpath-parity" in QUERY_INVARIANTS
+
+    def test_invariant_holds_on_probes(self):
+        from repro.conformance.invariants import check_fastpath_parity
+
+        for graph in (chain(6), clique(5)):
+            query = weighted_query(graph, graph.n)
+            assert check_fastpath_parity(query) == []
+
+    def test_matrix_lists_fast_configurations(self):
+        from repro.registry import conformance_matrix
+
+        matrix = conformance_matrix()
+        assert "TBNmc!fast" in matrix["bushy-cp-free"]
+        assert "TBNmcAP!fast" in matrix["bushy-cp-free"]
+        assert "TLNmc!fast" in matrix["left-deep-cp-free"]
+
+
+class TestCli:
+    def test_optimize_json_reports_backend(self, capsys):
+        from repro.cli import main as cli_main
+
+        code = cli_main(
+            [
+                "optimize",
+                "--algorithm",
+                "TBNmc!fast",
+                "--topology",
+                "clique",
+                "--n",
+                "6",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["fastpath"]["backend"] in ("python", "numpy")
+
+    def test_fastpath_flag_matches_oracle(self, capsys):
+        from repro.cli import main as cli_main
+
+        results = {}
+        for label, flag in (("fast", "on"), ("oracle", "off")):
+            code = cli_main(
+                [
+                    "optimize",
+                    "--topology",
+                    "star",
+                    "--n",
+                    "7",
+                    "--json",
+                    "--fastpath",
+                    flag,
+                ]
+            )
+            assert code == 0
+            results[label] = json.loads(capsys.readouterr().out)
+        assert results["fast"]["cost"] == results["oracle"]["cost"]
+        assert results["fast"]["plan"] == results["oracle"]["plan"]
+        assert "fastpath" in results["fast"]
+        assert "fastpath" not in results["oracle"]

@@ -341,6 +341,64 @@ class TestImportLayering:
         assert LAYERS["repro.partition"] < LAYERS["repro.enumerator"]
         assert LAYERS["repro.enumerator"] < LAYERS["repro.parallel"]
         assert LAYERS["repro.conformance"] < LAYERS["repro.cli"]
+        # The fast path subclasses the oracle enumerator and is built by
+        # the registry: same rank as the former, below the latter.
+        assert LAYERS["repro.fastpath"] == LAYERS["repro.enumerator"]
+        assert LAYERS["repro.fastpath"] < LAYERS["repro.registry"]
+
+
+class TestFastpathGuard:
+    def test_flags_bare_numpy_import(self):
+        found = findings("import numpy\n", module="repro.cost.io_model")
+        assert [f.rule for f in found] == ["fastpath-guard"]
+        assert found[0].severity == ERROR
+        assert "numpy" in found[0].message
+
+    def test_flags_from_import_and_submodules(self):
+        assert "fastpath-guard" in rule_names(
+            "from numpy import ndarray\n", module="repro.fastpath.batch"
+        )
+        assert "fastpath-guard" in rule_names(
+            "import numpy.linalg\n", module="repro.analysis.counting"
+        )
+        assert "fastpath-guard" in rule_names(
+            "from mypyc.build import mypycify\n", module="fixture"
+        )
+
+    def test_flags_lazy_function_scoped_import(self):
+        # A deferred hard dependency still detonates on first call.
+        source = """\
+        def kernel():
+            import numpy
+            return numpy.ceil
+        """
+        assert "fastpath-guard" in rule_names(
+            source, module="repro.fastpath.batch"
+        )
+
+    def test_detection_shim_is_exempt(self):
+        source = """\
+        def numpy_or_none():
+            try:
+                import numpy
+            except ImportError:
+                return None
+            return numpy
+        """
+        assert rule_names(source, module="repro.fastpath.detect") == []
+
+    def test_shim_consumers_are_clean(self):
+        assert rule_names(
+            "from repro.fastpath.detect import numpy_or_none\n"
+            "np = numpy_or_none()\n",
+            module="repro.fastpath.batch",
+        ) == []
+
+    def test_pragma_suppresses(self):
+        assert rule_names(
+            "from mypyc.build import mypycify"
+            "  # lint: disable=fastpath-guard -- build-time only\n"
+        ) == []
 
 
 class TestEngine:
@@ -404,7 +462,7 @@ class TestEngine:
 
     def test_rule_registry_is_consistent(self):
         names = [rule.name for rule in ALL_RULES]
-        assert len(names) == len(set(names)) == 10
+        assert len(names) == len(set(names)) == 11
         for name in names:
             assert rule_by_name(name).name == name
         with pytest.raises(KeyError):
