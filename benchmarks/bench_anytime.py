@@ -1,0 +1,128 @@
+"""Gap-vs-budget curve: the acceptance gate for ``repro.anytime``.
+
+For each workload one unbudgeted run establishes the full-search node
+count and the true optimum; the curve then re-runs the same search under
+node budgets at fixed fractions of that count and records, per point,
+the returned plan's *true* gap (measured against the known optimum,
+which a production anytime run never sees) next to the *certified*
+``gap_bound`` the run can prove from its lower bounds.  Node budgets are
+deterministic (docs/anytime.md), so this curve is a reproducible fact
+about the algorithm, not about the machine.
+
+The gate: at ``GATE_FRACTION`` (25 %) of the full-search budget the
+certified gap bound must be finite and the true gap at most
+``TRUE_GAP_BAR`` (10 %) on the dense gate workloads (clique-10,
+star-12).  Every point additionally asserts the anytime soundness
+contract — the plan validates, never beats the optimum, and the
+certified floor never exceeds it.
+
+Results go to ``BENCH_anytime.json`` via :mod:`benchmarks.bench_io`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.anytime import Budget
+from repro.cost import CostModel
+from repro.plans import validate_plan
+from repro.registry import make_optimizer, parse_name
+from repro.workloads import clique, star
+from repro.workloads.weights import weighted_query
+
+from benchmarks.bench_io import write_bench_json
+
+#: Accumulated-cost B&B: the strategy whose memo floors and incumbent
+#: tracking the gap bound is built from.
+ALGORITHM = "TBNmcA"
+
+WORKLOADS = (
+    ("clique10", weighted_query(clique(10), 3)),
+    ("star12", weighted_query(star(12), 3)),
+)
+
+#: Node-budget fractions of the full search, low to high.
+FRACTIONS = (0.05, 0.1, 0.25, 0.5, 1.0)
+
+#: The gated point and its bar on the measured (true) gap.
+GATE_FRACTION = 0.25
+TRUE_GAP_BAR = 0.10
+
+#: Soundness slack for float cost comparisons.
+REL_TOL = 1e-9
+
+
+def test_emit_anytime_gap_curve_json():
+    space = parse_name(ALGORITHM).space
+    rows = {}
+    for name, query in WORKLOADS:
+        full = make_optimizer(ALGORITHM, query, CostModel())
+        optimal_plan = full.optimize(budget=Budget.nodes(10**9))
+        report = full.anytime
+        assert report is not None and report.completed
+        full_nodes = report.nodes_spent
+        optimal = optimal_plan.cost
+
+        curve = []
+        for fraction in FRACTIONS:
+            budget_nodes = max(1, math.ceil(fraction * full_nodes))
+            optimizer = make_optimizer(ALGORITHM, query, CostModel())
+            plan = optimizer.optimize(budget=Budget.nodes(budget_nodes))
+            point = optimizer.anytime
+            assert point is not None, (name, fraction)
+            validate_plan(plan, query, space)
+            true_gap = plan.cost / optimal - 1.0
+            assert true_gap >= -REL_TOL, (name, fraction, true_gap)
+            assert point.certified_floor <= optimal * (1.0 + REL_TOL), (
+                name,
+                fraction,
+                point.certified_floor,
+                optimal,
+            )
+            curve.append(
+                {
+                    "fraction": fraction,
+                    "budget_nodes": budget_nodes,
+                    "nodes_spent": point.nodes_spent,
+                    "plan_cost": plan.cost,
+                    "true_gap": true_gap,
+                    "gap_bound": (
+                        None if math.isinf(point.gap_bound) else point.gap_bound
+                    ),
+                    "completed": point.completed,
+                }
+            )
+        rows[name] = {
+            "n": query.n,
+            "full_nodes": full_nodes,
+            "optimal_cost": optimal,
+            "curve": curve,
+        }
+
+    payload = {
+        "algorithm": ALGORITHM,
+        "cost_model": "io",
+        "fractions": list(FRACTIONS),
+        "gate": {"fraction": GATE_FRACTION, "true_gap_bar": TRUE_GAP_BAR},
+        "workloads": rows,
+    }
+    path = write_bench_json("anytime", payload)
+    with open(path, encoding="utf-8") as handle:
+        loaded = json.load(handle)
+    assert set(loaded["workloads"]) == {name for name, _ in WORKLOADS}
+
+    for name, row in rows.items():
+        gated = next(
+            p for p in row["curve"] if p["fraction"] == GATE_FRACTION
+        )
+        assert gated["gap_bound"] is not None, (
+            f"{name}: the certified gap bound must be finite at "
+            f"{GATE_FRACTION:.0%} of the full-search node budget"
+        )
+        assert gated["true_gap"] <= TRUE_GAP_BAR, (
+            f"{name}: at {GATE_FRACTION:.0%} of the full search "
+            f"({gated['budget_nodes']} of {row['full_nodes']} nodes) the "
+            f"anytime plan must be within {TRUE_GAP_BAR:.0%} of optimal; "
+            f"measured {gated['true_gap']:.2%}"
+        )

@@ -66,6 +66,14 @@ class Metrics:
     parallel_tasks: int = 0
     #: Worker memo entries folded into the parent memo (repro.parallel).
     parallel_entries_merged: int = 0
+    #: Memo-missed expression computations charged against an anytime budget.
+    anytime_nodes_spent: int = 0
+    #: Anytime searches interrupted by budget exhaustion (repro.anytime).
+    anytime_interrupts: int = 0
+    #: Expressions given ranked (top-k) memo cells by ``optimize_topk``.
+    topk_expressions_ranked: int = 0
+    #: Join candidates fed to the lazy k-best frontier across all cells.
+    topk_candidates_ranked: int = 0
 
     _expanded_sets: set[tuple[int, object]] = field(
         default_factory=set, repr=False, compare=False

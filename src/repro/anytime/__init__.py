@@ -1,0 +1,26 @@
+"""Anytime + ranked (top-k) enumeration support (``docs/anytime.md``).
+
+This package holds the budget/clock machinery, the zero-node greedy
+seed, the gap-bound report, and the lazy k-best composition rule that
+:class:`~repro.enumerator.TopDownEnumerator` threads through its search.
+It sits beside the enumerator in the layering DAG (rank 6) and never
+imports upward — the registry's ``?budget``/``^k`` suffixes and the
+multiphase anytime driver live above it.
+"""
+
+from repro.anytime.budget import Budget, BudgetClock, BudgetExhausted
+from repro.anytime.report import AnytimeReport, gap_bound_from
+from repro.anytime.seed import greedy_plan, static_lower_bound
+from repro.anytime.topk import kbest_join_plans, ranked_scan_plans
+
+__all__ = [
+    "Budget",
+    "BudgetClock",
+    "BudgetExhausted",
+    "AnytimeReport",
+    "gap_bound_from",
+    "greedy_plan",
+    "static_lower_bound",
+    "kbest_join_plans",
+    "ranked_scan_plans",
+]

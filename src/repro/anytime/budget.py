@@ -1,0 +1,167 @@
+"""Search budgets: node/deadline limits and the clock that enforces them.
+
+A :class:`Budget` is a declarative limit on one optimization — at most
+``max_nodes`` memo-missed expression computations, at most
+``deadline_ms`` milliseconds of wall clock, or both.  A
+:class:`BudgetClock` is the running instance the enumerator charges one
+:meth:`~BudgetClock.spend_node` per computed expression; crossing either
+limit raises :class:`BudgetExhausted`, which the enumerator catches to
+return its best-so-far plan (``docs/anytime.md``).
+
+Node budgets are deterministic (the search prefix they admit depends
+only on the query and algorithm), which is what the conformance
+invariants and the budget-monotonicity property tests rely on; deadlines
+are wall-clock and therefore nondeterministic — useful in production,
+exercised only by the ``stress``-marked tier.
+
+The registry's ``?budget`` suffix round-trips through
+:meth:`Budget.parse_token` / :meth:`Budget.token`: ``?250ms``,
+``?5000n``, or both as ``?250ms:5000n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.timing import clock
+
+__all__ = ["Budget", "BudgetClock", "BudgetExhausted"]
+
+
+class BudgetExhausted(Exception):
+    """Raised by :meth:`BudgetClock.spend_node` once a limit is crossed."""
+
+
+@dataclass(frozen=True)
+class Budget:
+    """A declarative search limit; ``Budget()`` is unlimited.
+
+    ``max_nodes`` bounds memo-missed expression computations (scans and
+    joins both count; memo hits are free).  ``deadline_ms`` bounds wall
+    time from the moment the clock starts.  ``None`` means unlimited on
+    that axis.
+    """
+
+    max_nodes: int | None = None
+    deadline_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_nodes is not None and self.max_nodes < 0:
+            raise ValueError(f"max_nodes must be >= 0, got {self.max_nodes}")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError(
+                f"deadline_ms must be > 0, got {self.deadline_ms}"
+            )
+
+    @classmethod
+    def nodes(cls, count: int) -> "Budget":
+        """A pure node budget (deterministic)."""
+        return cls(max_nodes=count)
+
+    @classmethod
+    def millis(cls, deadline_ms: float) -> "Budget":
+        """A pure wall-clock deadline (nondeterministic)."""
+        return cls(deadline_ms=deadline_ms)
+
+    @property
+    def is_unlimited(self) -> bool:
+        """True when neither axis is bounded."""
+        return self.max_nodes is None and self.deadline_ms is None
+
+    # -- registry suffix round-trip ---------------------------------------
+
+    def token(self) -> str:
+        """The canonical ``?budget`` suffix body, e.g. ``250ms:5000n``."""
+        parts: list[str] = []
+        if self.deadline_ms is not None:
+            ms = self.deadline_ms
+            parts.append(f"{int(ms)}ms" if ms == int(ms) else f"{ms}ms")
+        if self.max_nodes is not None:
+            parts.append(f"{self.max_nodes}n")
+        if not parts:
+            raise ValueError("an unlimited budget has no suffix token")
+        return ":".join(parts)
+
+    @classmethod
+    def parse_token(cls, text: str) -> "Budget":
+        """Parse a ``?budget`` suffix body (``250ms``, ``5000n``, both)."""
+        if not text:
+            raise ValueError("empty budget token")
+        max_nodes: int | None = None
+        deadline_ms: float | None = None
+        for part in text.split(":"):
+            if part.endswith("ms"):
+                if deadline_ms is not None:
+                    raise ValueError(f"duplicate deadline in {text!r}")
+                try:
+                    deadline_ms = float(part[:-2])
+                except ValueError:
+                    raise ValueError(
+                        f"bad deadline {part!r} in budget token {text!r}"
+                    ) from None
+                if deadline_ms <= 0:
+                    raise ValueError(f"deadline must be > 0 in {text!r}")
+            elif part.endswith("n"):
+                if max_nodes is not None:
+                    raise ValueError(f"duplicate node limit in {text!r}")
+                try:
+                    max_nodes = int(part[:-1])
+                except ValueError:
+                    raise ValueError(
+                        f"bad node limit {part!r} in budget token {text!r}"
+                    ) from None
+                if max_nodes < 0:
+                    raise ValueError(f"node limit must be >= 0 in {text!r}")
+            else:
+                raise ValueError(
+                    f"budget part {part!r} must end in 'ms' or 'n' "
+                    f"(token {text!r})"
+                )
+        return cls(max_nodes=max_nodes, deadline_ms=deadline_ms)
+
+
+class BudgetClock:
+    """The running enforcement of one :class:`Budget`.
+
+    One clock may span several optimizer phases (the multiphase seeder
+    threads a single clock through every phase); :attr:`nodes_spent`
+    accumulates across them and :attr:`exhausted` latches.
+    """
+
+    __slots__ = ("budget", "nodes_spent", "exhausted", "_max_nodes", "_deadline")
+
+    def __init__(self, budget: Budget) -> None:
+        self.budget = budget
+        self.nodes_spent = 0
+        self.exhausted = False
+        self._max_nodes = budget.max_nodes
+        self._deadline = (
+            None
+            if budget.deadline_ms is None
+            else clock() + budget.deadline_ms / 1e3
+        )
+
+    @property
+    def unconstrained(self) -> bool:
+        """True when this clock can never interrupt the search."""
+        return self._max_nodes is None and self._deadline is None
+
+    def spend_node(self) -> None:
+        """Charge one memo-missed expression computation.
+
+        Raises :class:`BudgetExhausted` when the charge crosses the node
+        limit or the wall-clock deadline has passed.  Once exhausted,
+        every further charge raises immediately (shared-clock phases
+        degrade to their seeds).
+        """
+        if self.exhausted:
+            raise BudgetExhausted
+        max_nodes = self._max_nodes
+        if max_nodes is not None and self.nodes_spent >= max_nodes:
+            self.exhausted = True
+            raise BudgetExhausted
+        deadline = self._deadline
+        if deadline is not None and clock() >= deadline:
+            self.exhausted = True
+            raise BudgetExhausted
+        self.nodes_spent += 1

@@ -1,0 +1,76 @@
+"""The anytime optimization outcome: best-so-far cost plus a gap bound.
+
+``gap_bound`` relates the returned plan to the (unknown) optimum as::
+
+    optimal_cost >= plan_cost / (1 + gap_bound)
+
+i.e. ``gap_bound = plan_cost / lower_bound - 1`` for a sound
+``lower_bound <= optimal_cost``.  A completed search reports a gap of
+exactly zero; an interrupted one takes the tightest available floor —
+the memo's accumulated root lower bound (Algorithm 7 stores failed
+budgets as per-expression floors) when present, else the static
+sum-of-cheapest-scans bound.  See ``docs/anytime.md``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["AnytimeReport", "gap_bound_from"]
+
+
+def gap_bound_from(plan_cost: float, lower_bound: float) -> float:
+    """The relative gap bound implied by a sound cost floor.
+
+    A nonpositive floor carries no information, so the bound degrades to
+    infinity rather than claiming spurious tightness.
+    """
+    if lower_bound <= 0.0:
+        return math.inf
+    return max(0.0, plan_cost / lower_bound - 1.0)
+
+
+@dataclass(frozen=True)
+class AnytimeReport:
+    """What one budgeted ``optimize(budget=...)`` run can certify."""
+
+    #: Cost of the returned (best-so-far or optimal) plan.
+    plan_cost: float
+    #: Sound floor on the optimal plan cost (== ``plan_cost`` if completed).
+    lower_bound: float
+    #: ``plan_cost / lower_bound - 1`` (0.0 when the search completed).
+    gap_bound: float
+    #: Memo-missed expressions computed under this run's budget charges.
+    nodes_spent: int
+    #: The search ran to completion; the plan is exactly optimal.
+    completed: bool
+    #: The budget interrupted the search (mutually exclusive with above).
+    exhausted: bool
+
+    def __post_init__(self) -> None:
+        if self.completed == self.exhausted:
+            raise ValueError(
+                "an anytime run either completes or exhausts its budget"
+            )
+        if self.gap_bound < 0.0:
+            raise ValueError(f"gap bound must be >= 0, got {self.gap_bound}")
+
+    @property
+    def certified_floor(self) -> float:
+        """``plan_cost / (1 + gap_bound)`` — the soundness statement."""
+        if math.isinf(self.gap_bound):
+            return 0.0
+        return self.plan_cost / (1.0 + self.gap_bound)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe payload for the CLI ``--json`` block and serve tier."""
+        return {
+            "plan_cost": self.plan_cost,
+            "lower_bound": self.lower_bound,
+            "gap_bound": None if math.isinf(self.gap_bound) else self.gap_bound,
+            "nodes_spent": self.nodes_spent,
+            "completed": self.completed,
+            "exhausted": self.exhausted,
+        }

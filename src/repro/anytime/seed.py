@@ -1,0 +1,231 @@
+"""Polynomial-time greedy seeding and static cost floors for anytime search.
+
+The anytime contract — *any* budget returns a valid plan — needs an
+incumbent that costs zero search nodes.  :func:`greedy_plan` is a
+deterministic greedy operator ordering (GOO-style) run under two merge
+rules — cheapest combined plan, and smallest intermediate cardinality
+(Fegaras' classic GOO objective) — keeping the cheaper final plan.
+Neither rule dominates: cumulative cost wins on chains and stars, while
+cardinality avoids the poisoned-intermediate trap on dense graphs,
+where a cheap early join can be many orders of magnitude off optimal.
+Both passes are restricted to the requested plan space (left-deep
+spaces grow one accumulating chain; CP-free spaces only merge
+components joined by a predicate).  Its plans are valid members of the
+space, so they validate under the same checker as enumerated plans, and
+they seed accumulated-cost B&B exactly like a multiphase phase-1 plan.
+
+:func:`static_lower_bound` is the query-wide cost floor used when the
+memo holds no root lower bound yet: every plan in every space contains
+exactly one scan per base relation, and both shipped cost models price
+operators nonnegatively on top of their children, so the sum of each
+relation's cheapest scan is a sound lower bound on the optimal plan cost
+(``docs/anytime.md`` derives the gap bound from it).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.catalog.query import Query
+from repro.core.bitset import bit
+from repro.cost.io_model import CostModel
+from repro.partition.base import PlanSpace
+from repro.plans.physical import INFINITY, Plan
+
+__all__ = ["greedy_plan", "static_lower_bound"]
+
+#: Left-deep greedy tries every start relation up to this many vertices;
+#: beyond it, only the cheapest-scan starts (keeps seeding O(n^2)-ish on
+#: the >64-relation stress workloads).
+_FULL_START_SWEEP = 16
+_CAPPED_STARTS = 4
+
+
+def _best_scan(query: Query, cost_model: CostModel, subset: int) -> Plan:
+    """The cheapest unordered scan of a single relation (first-wins)."""
+    best: Plan | None = None
+    for plan in cost_model.scan_plans(query, subset, None):
+        if best is None or plan.cost < best.cost:
+            best = plan
+    if best is None:
+        raise ValueError(f"no scan plan for subset {subset:#x}")
+    return best
+
+
+def _best_join(
+    query: Query, cost_model: CostModel, left: Plan, right: Plan
+) -> Plan:
+    """The cheapest single join of two subplans (first method wins ties)."""
+    best_method = None
+    best_cost = INFINITY
+    for method in cost_model.JOIN_METHODS:
+        cost = cost_model.operator_cost(
+            query, method, left.vertices, right.vertices
+        )
+        if cost < best_cost:
+            best_cost = cost
+            best_method = method
+    assert best_method is not None
+    return cost_model.build_join(query, best_method, left, right)
+
+
+def _connected(
+    edge_bits: list[tuple[int, int]], a: int, b: int
+) -> bool:
+    """Whether any predicate crosses the two vertex masks."""
+    for u_bit, v_bit in edge_bits:
+        if (u_bit & a and v_bit & b) or (u_bit & b and v_bit & a):
+            return True
+    return False
+
+
+#: Merge objectives for the bushy greedy: cheapest combined plan, and
+#: smallest intermediate cardinality (cost-tie-broken).  Each is a
+#: (primary, secondary) key over the candidate merged plan.
+_BUSHY_MERGE_KEYS = (
+    lambda plan: (plan.cost, plan.cardinality),
+    lambda plan: (plan.cardinality, plan.cost),
+)
+
+
+def _greedy_bushy_pass(
+    query: Query,
+    cost_model: CostModel,
+    edge_bits: list[tuple[int, int]],
+    require_connected: bool,
+    merge_key: Callable[[Plan], tuple[float, float]],
+) -> Plan:
+    """GOO over connected components: merge the best admissible pair."""
+    components: list[tuple[int, Plan]] = [
+        (bit(v), _best_scan(query, cost_model, bit(v)))
+        for v in range(query.n)
+    ]
+    while len(components) > 1:
+        choice: tuple[tuple[float, float], int, int, Plan] | None = None
+        for i, (mask_i, plan_i) in enumerate(components):
+            for j, (mask_j, plan_j) in enumerate(components):
+                if i == j:
+                    continue
+                if require_connected and not _connected(
+                    edge_bits, mask_i, mask_j
+                ):
+                    continue
+                plan = _best_join(query, cost_model, plan_i, plan_j)
+                key = merge_key(plan)
+                if choice is None or key < choice[0]:
+                    choice = (key, i, j, plan)
+        if choice is None:
+            raise ValueError(
+                "query graph is disconnected; no CP-free greedy plan exists"
+            )
+        _, i, j, merged = choice
+        mask = components[i][0] | components[j][0]
+        components = [
+            component
+            for index, component in enumerate(components)
+            if index != i and index != j
+        ]
+        components.append((mask, merged))
+    return components[0][1]
+
+
+def _greedy_bushy(
+    query: Query,
+    cost_model: CostModel,
+    edge_bits: list[tuple[int, int]],
+    require_connected: bool,
+) -> Plan:
+    """Best of the bushy merge objectives; first-wins on a cost tie."""
+    best: Plan | None = None
+    for merge_key in _BUSHY_MERGE_KEYS:
+        plan = _greedy_bushy_pass(
+            query, cost_model, edge_bits, require_connected, merge_key
+        )
+        if best is None or plan.cost < best.cost:
+            best = plan
+    assert best is not None
+    return best
+
+
+def _greedy_left_deep(
+    query: Query,
+    cost_model: CostModel,
+    edge_bits: list[tuple[int, int]],
+    require_connected: bool,
+) -> Plan:
+    """Greedy left-deep chain: best next base relation, best start."""
+    n = query.n
+    scans = [_best_scan(query, cost_model, bit(v)) for v in range(n)]
+    if n <= _FULL_START_SWEEP:
+        starts = list(range(n))
+    else:
+        ranked = sorted(range(n), key=lambda v: (scans[v].cost, v))
+        starts = ranked[:_CAPPED_STARTS]
+    best_plan: Plan | None = None
+    for start in starts:
+        accumulated = scans[start]
+        mask = bit(start)
+        feasible = True
+        for _ in range(n - 1):
+            step: Plan | None = None
+            for v in range(n):
+                v_bit = bit(v)
+                if v_bit & mask:
+                    continue
+                if require_connected and not _connected(
+                    edge_bits, mask, v_bit
+                ):
+                    continue
+                plan = _best_join(query, cost_model, accumulated, scans[v])
+                if step is None or plan.cost < step.cost:
+                    step = plan
+            if step is None:
+                feasible = False
+                break
+            accumulated = step
+            mask = accumulated.vertices
+        if feasible and (best_plan is None or accumulated.cost < best_plan.cost):
+            best_plan = accumulated
+    if best_plan is None:
+        raise ValueError(
+            "query graph is disconnected; no CP-free greedy plan exists"
+        )
+    return best_plan
+
+
+def greedy_plan(
+    query: Query, cost_model: CostModel, space: PlanSpace
+) -> Plan:
+    """A deterministic polynomial-time plan in ``space``; zero search nodes.
+
+    Bushy spaces use pairwise greedy operator ordering; left-deep spaces
+    grow one accumulating chain from the best of several start
+    relations.  Ties break toward the earliest candidate, so the seed is
+    reproducible across runs and processes.
+    """
+    if query.n == 1:
+        return _best_scan(query, cost_model, bit(0))
+    edge_bits = [
+        (bit(edge.u), bit(edge.v)) for edge in query.graph.edges
+    ]
+    require_connected = not space.allows_cartesian_products
+    if space.is_left_deep:
+        return _greedy_left_deep(
+            query, cost_model, edge_bits, require_connected
+        )
+    return _greedy_bushy(query, cost_model, edge_bits, require_connected)
+
+
+def static_lower_bound(query: Query, cost_model: CostModel) -> float:
+    """A query-wide floor on any plan's cost: one cheapest scan per relation.
+
+    Sound because every plan's leaves partition the vertex set and both
+    cost models accumulate nonnegative operator costs on top of their
+    children.  May be zero (e.g. ``C_out`` prices scans at zero), in
+    which case the gap bound degrades to infinity unless the memo holds
+    a root lower bound.
+    """
+    total = 0.0
+    for v in range(query.n):
+        total += _best_scan(query, cost_model, bit(v)).cost
+    return total

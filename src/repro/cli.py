@@ -37,10 +37,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import os
 import sys
 
 from repro.analysis.metrics import Metrics
+from repro.anytime import Budget
 from repro.experiments import EXPERIMENTS
 from repro.obs import (
     MetricsRegistry,
@@ -146,6 +148,28 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     memo_profile, error = _load_memo_profile(args)
     if error is not None:
         return error
+    budget = None
+    budget_ms = getattr(args, "budget_ms", None)
+    budget_nodes = getattr(args, "budget_nodes", None)
+    if budget_ms is not None or budget_nodes is not None:
+        try:
+            budget = Budget(max_nodes=budget_nodes, deadline_ms=budget_ms)
+        except ValueError as exc:
+            print(f"invalid budget: {exc}", file=sys.stderr)
+            return 2
+    top_k = getattr(args, "top_k", None)
+    if top_k is not None and top_k < 1:
+        print(f"--top-k must be >= 1, got {top_k}", file=sys.stderr)
+        return 2
+    if top_k is not None and budget is not None:
+        print(
+            "--top-k ranks plans exhaustively; drop --budget-ms/--budget-nodes",
+            file=sys.stderr,
+        )
+        return 2
+    if top_k is not None and workers is not None:
+        print("--top-k is serial-only; drop --workers", file=sys.stderr)
+        return 2
     optimizer = make_optimizer(
         args.algorithm,
         query,
@@ -161,9 +185,22 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         memo_cold_capacity=getattr(args, "memo_cold_capacity", None),
         memo_profile=memo_profile,
         fastpath=getattr(args, "fastpath", None),
+        budget=budget,
+        top_k=top_k,
     )
+    effective_topk = (
+        top_k
+        if top_k is not None
+        else getattr(optimizer, "default_topk", None)
+    )
+    ranked = None
     with Stopwatch() as stopwatch:
-        plan = optimizer.optimize()
+        if effective_topk is not None:
+            ranked = optimizer.optimize_topk(effective_topk)
+            plan = ranked[0]
+        else:
+            plan = optimizer.optimize()
+    anytime_report = getattr(optimizer, "anytime", None)
     elapsed = stopwatch.elapsed_total
     parallel_info = None
     worker_results = getattr(optimizer, "worker_results", None)
@@ -227,6 +264,17 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
             payload["fastpath"] = {"backend": fastpath_backend}
         if parallel_info is not None:
             payload["parallel"] = parallel_info
+        if anytime_report is not None:
+            payload["anytime"] = anytime_report.to_dict()
+        if ranked is not None:
+            payload["topk"] = {
+                "k": effective_topk,
+                "returned": len(ranked),
+                "plans": [
+                    {"cost": candidate.cost, "plan": candidate.sql_like()}
+                    for candidate in ranked
+                ],
+            }
         print(json.dumps(payload, indent=2))
         return 0
     print(f"query: {query.describe()}")
@@ -241,8 +289,23 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
             f"{parallel_info['tasks']} tasks, "
             f"{parallel_info['entries_merged']} entries merged"
         )
+    if anytime_report is not None:
+        gap = (
+            "unbounded"
+            if math.isinf(anytime_report.gap_bound)
+            else f"{anytime_report.gap_bound:.4g}"
+        )
+        status = "completed" if anytime_report.completed else "budget exhausted"
+        print(
+            f"anytime: {status}, {anytime_report.nodes_spent} nodes spent, "
+            f"gap bound {gap}"
+        )
     print(f"plan: {plan.sql_like()}")
     print(f"cost: {plan.cost:.6g}")
+    if ranked is not None:
+        print(f"top-{effective_topk}: {len(ranked)} distinct plan(s)")
+        for rank, candidate in enumerate(ranked):
+            print(f"  #{rank + 1}: cost {candidate.cost:.6g}  {candidate.sql_like()}")
     print(plan.tree_string())
     memo = getattr(optimizer, "memo", None)
     if memo is not None and hasattr(memo, "summary") and memo.capacity is not None:
@@ -850,6 +913,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="batched fast path (repro.fastpath): on forces it, off pins "
              "the scalar oracle, auto (default) honours a !fast algorithm "
              "suffix; REPRO_FASTPATH=off overrides everything",
+    )
+    optimize.add_argument(
+        "--budget-ms", type=float, metavar="MS",
+        help="anytime wall-clock deadline in milliseconds: return the "
+             "best plan found in time, with a certified gap bound "
+             "(equivalent to a ?MSms algorithm suffix; docs/anytime.md)",
+    )
+    optimize.add_argument(
+        "--budget-nodes", type=int, metavar="N",
+        help="anytime node budget: at most N memo-missed expression "
+             "computations, deterministic (equivalent to ?Nn)",
+    )
+    optimize.add_argument(
+        "--top-k", type=int, metavar="K",
+        help="rank the K cheapest structurally distinct plans instead of "
+             "one champion (equivalent to a ^K suffix; serial top-down "
+             "only)",
     )
 
     trace = sub.add_parser(

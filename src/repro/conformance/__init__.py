@@ -7,7 +7,10 @@ minimal per Definition 3.1, the enumeration counts must match the
 Ono–Lohman closed forms (Table 2), branch-and-bound and bounded memos must
 never lose the optimum (Sections 4.2/5.1), and the whole feature matrix —
 serial, parallel workers, eviction policies, bounding modes — must agree
-on one optimal plan per plan space.
+on one optimal plan per plan space.  The anytime/ranking tier adds two
+more: ranked enumeration must extend the champion search bit-for-bit
+(``topk-soundness``) and every budgeted search must return a valid plan
+with a sound optimality-gap bound (``anytime-gap``).
 
 This package encodes each guarantee as an executable *invariant*
 (:mod:`repro.conformance.invariants` over the brute-force ground truth of
@@ -22,12 +25,14 @@ between successive joins" claim into a monitored CI gate
 from repro.conformance.invariants import (
     INVARIANTS,
     Violation,
+    check_anytime_gap,
     check_bnb_soundness,
     check_ccp_closed_forms,
     check_cut_minimality,
     check_memo_soundness,
     check_partition_completeness,
     check_plan_agreement,
+    check_topk_soundness,
     run_invariants,
     standard_battery,
 )
@@ -55,12 +60,14 @@ from repro.conformance.oracles import (
 __all__ = [
     "INVARIANTS",
     "Violation",
+    "check_anytime_gap",
     "check_bnb_soundness",
     "check_ccp_closed_forms",
     "check_cut_minimality",
     "check_memo_soundness",
     "check_partition_completeness",
     "check_plan_agreement",
+    "check_topk_soundness",
     "run_invariants",
     "standard_battery",
     "FuzzCase",

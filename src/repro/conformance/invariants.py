@@ -36,6 +36,17 @@ suite, the differential fuzzer (:mod:`repro.conformance.fuzz`), and the
     compare *equal* — same shape, same operators, bit-identical costs —
     to the scalar oracle's, on every available batch backend, for both
     exhaustive and branch-and-bound search.
+``topk-soundness``
+    Ranked enumeration (``optimize_topk``, ``docs/anytime.md``) is an
+    extension, not a reinterpretation: rank 0 is *bit-identical* to the
+    champion search's plan for every strategy, costs are monotone
+    nondecreasing down the list, the plans are pairwise structurally
+    distinct, each validates against its plan space, and the fast path
+    ranks identically to the oracle.
+``anytime-gap``
+    Any budget yields a valid plan whose gap bound is sound:
+    ``certified_floor <= true optimal cost <= plan cost``, with a
+    completed search certifying gap exactly zero (``docs/anytime.md``).
 """
 
 from __future__ import annotations
@@ -74,6 +85,7 @@ from repro.workloads.weights import weighted_query
 __all__ = [
     "INVARIANTS",
     "Violation",
+    "check_anytime_gap",
     "check_bnb_soundness",
     "check_ccp_closed_forms",
     "check_cut_minimality",
@@ -81,6 +93,7 @@ __all__ = [
     "check_memo_soundness",
     "check_partition_completeness",
     "check_plan_agreement",
+    "check_topk_soundness",
     "run_invariants",
     "standard_battery",
 ]
@@ -501,6 +514,215 @@ def check_plan_agreement(
     return violations
 
 
+#: Strategies the ranking/anytime invariants sweep: plain, accumulated,
+#: combined bounding, the batched fast path, and left-deep search.
+RANKED_STRATEGIES = ("TBNmc", "TBNmcA", "TBNmcAP", "TBNmcAP!fast", "TLNmcA")
+
+#: (oracle, fast) pairs whose ranked lists must agree wire-for-wire.
+TOPK_PARITY_PAIRS = (
+    ("TBNmc", "TBNmc!fast"),
+    ("TBNmcAP", "TBNmcAP!fast"),
+)
+
+#: Node budgets the gap invariant probes: zero (pure seed), a single
+#: node, a prefix, and effectively unlimited (must complete at gap 0).
+ANYTIME_PROBE_BUDGETS = (0, 1, 9, 10**9)
+
+
+def check_topk_soundness(
+    query: Query,
+    strategies: tuple[str, ...] = RANKED_STRATEGIES,
+    k: int = 3,
+) -> list[Violation]:
+    """Ranked enumeration extends the champion search without changing it.
+
+    Per strategy: ``optimize_topk(1)`` and ``optimize_topk(k)`` rank 0
+    are bit-identical (``to_wire``) to the plain champion, the ranked
+    costs are monotone nondecreasing, the plans are pairwise distinct,
+    and each validates against the strategy's plan space.  The fast path
+    must produce wire-identical ranked lists to the oracle.
+    """
+    violations: list[Violation] = []
+    for name in strategies:
+        champion = make_optimizer(name, query).optimize()
+        space = parse_name(name).space
+        for depth in (1, k):
+            optimizer = make_optimizer(name, query)
+            ranked = optimizer.optimize_topk(depth)
+            if not ranked or ranked[0].to_wire() != champion.to_wire():
+                violations.append(
+                    Violation(
+                        "topk-soundness",
+                        f"{name} optimize_topk({depth}) rank 0 is not "
+                        f"bit-identical to the champion plan on "
+                        f"{query.describe()}",
+                        _graph_subject(query.graph, algorithm=name, k=depth),
+                    )
+                )
+                continue
+            costs = [plan.cost for plan in ranked]
+            if any(a > b for a, b in zip(costs, costs[1:])):
+                violations.append(
+                    Violation(
+                        "topk-soundness",
+                        f"{name} optimize_topk({depth}) costs are not "
+                        f"monotone nondecreasing: {costs} on "
+                        f"{query.describe()}",
+                        _graph_subject(query.graph, algorithm=name, k=depth),
+                    )
+                )
+            wires = [plan.to_wire() for plan in ranked]
+            if len(set(wires)) != len(wires):
+                violations.append(
+                    Violation(
+                        "topk-soundness",
+                        f"{name} optimize_topk({depth}) returned structurally "
+                        f"duplicate plans on {query.describe()}",
+                        _graph_subject(query.graph, algorithm=name, k=depth),
+                    )
+                )
+            for rank, plan in enumerate(ranked):
+                try:
+                    validate_plan(plan, query, space)
+                except PlanValidationError as exc:
+                    violations.append(
+                        Violation(
+                            "topk-soundness",
+                            f"{name} rank-{rank} plan is invalid for its "
+                            f"space: {exc}",
+                            _graph_subject(
+                                query.graph, algorithm=name, rank=rank
+                            ),
+                        )
+                    )
+    for oracle_name, fast_name in TOPK_PARITY_PAIRS:
+        oracle_ranked = make_optimizer(
+            oracle_name, query, fastpath="off"
+        ).optimize_topk(k)
+        for backend in available_backends():
+            fast_ranked = make_optimizer(
+                fast_name, query, fastpath_backend=backend
+            ).optimize_topk(k)
+            if [p.to_wire() for p in fast_ranked] != [
+                p.to_wire() for p in oracle_ranked
+            ]:
+                violations.append(
+                    Violation(
+                        "topk-soundness",
+                        f"{fast_name} ({backend} backend) ranked list "
+                        f"diverges from oracle {oracle_name} on "
+                        f"{query.describe()}",
+                        _graph_subject(
+                            query.graph, algorithm=fast_name, backend=backend
+                        ),
+                    )
+                )
+    return violations
+
+
+def check_anytime_gap(
+    query: Query,
+    strategies: tuple[str, ...] = RANKED_STRATEGIES,
+    budgets: tuple[int, ...] = ANYTIME_PROBE_BUDGETS,
+) -> list[Violation]:
+    """Budgeted search returns a valid plan with a sound gap bound.
+
+    Per strategy and node budget: the returned plan validates against
+    its space and costs at least the true optimum; the report's
+    ``certified_floor`` never exceeds the optimum (the soundness
+    statement ``opt >= plan_cost / (1 + gap_bound)``); an effectively
+    unlimited budget completes at gap exactly zero with the optimal
+    cost.  Node budgets are deterministic, so these probes are
+    replayable by the fuzz corpus.
+    """
+    from repro.anytime import Budget
+
+    violations: list[Violation] = []
+    for name in strategies:
+        optimal = _optimal_cost(name, query)
+        space = parse_name(name).space
+        for nodes in budgets:
+            optimizer = make_optimizer(name, query)
+            plan = optimizer.optimize(budget=Budget.nodes(nodes))
+            report = optimizer.anytime
+            subject = _graph_subject(
+                query.graph, algorithm=name, budget_nodes=nodes
+            )
+            if report is None:
+                violations.append(
+                    Violation(
+                        "anytime-gap",
+                        f"{name} under a {nodes}-node budget produced no "
+                        f"anytime report on {query.describe()}",
+                        subject,
+                    )
+                )
+                continue
+            try:
+                validate_plan(plan, query, space)
+            except PlanValidationError as exc:
+                violations.append(
+                    Violation(
+                        "anytime-gap",
+                        f"{name} under a {nodes}-node budget returned an "
+                        f"invalid plan: {exc}",
+                        subject,
+                    )
+                )
+            if report.plan_cost != plan.cost:
+                violations.append(
+                    Violation(
+                        "anytime-gap",
+                        f"{name} report cost {report.plan_cost!r} disagrees "
+                        f"with the returned plan's {plan.cost!r}",
+                        subject,
+                    )
+                )
+            if plan.cost < optimal and _costs_differ(plan.cost, optimal):
+                violations.append(
+                    Violation(
+                        "anytime-gap",
+                        f"{name} under a {nodes}-node budget returned cost "
+                        f"{plan.cost!r} below the optimum {optimal!r} on "
+                        f"{query.describe()}",
+                        subject,
+                    )
+                )
+            if report.certified_floor > optimal * (1.0 + COST_REL_TOL):
+                violations.append(
+                    Violation(
+                        "anytime-gap",
+                        f"{name} under a {nodes}-node budget certified floor "
+                        f"{report.certified_floor!r} above the optimum "
+                        f"{optimal!r} on {query.describe()} — the gap bound "
+                        f"is unsound",
+                        subject,
+                    )
+                )
+            if nodes >= 10**9:
+                if not report.completed or report.gap_bound != 0.0:
+                    violations.append(
+                        Violation(
+                            "anytime-gap",
+                            f"{name} under an effectively unlimited budget "
+                            f"did not complete at gap 0 "
+                            f"(completed={report.completed}, "
+                            f"gap={report.gap_bound!r})",
+                            subject,
+                        )
+                    )
+                elif _costs_differ(plan.cost, optimal):
+                    violations.append(
+                        Violation(
+                            "anytime-gap",
+                            f"{name} completed under budget but returned "
+                            f"cost {plan.cost!r} != optimum {optimal!r}",
+                            subject,
+                        )
+                    )
+    return violations
+
+
 # -- suite assembly -----------------------------------------------------------
 
 #: Invariant name -> checker over one (graph, query) probe.  ``graph``-level
@@ -513,12 +735,21 @@ INVARIANTS: dict[str, Callable[..., list[Violation]]] = {
     "memo-sound": check_memo_soundness,
     "plan-agreement": check_plan_agreement,
     "fastpath-parity": check_fastpath_parity,
+    "topk-soundness": check_topk_soundness,
+    "anytime-gap": check_anytime_gap,
 }
 
 #: Invariants taking a bare JoinGraph (exponential oracle comparisons).
 GRAPH_INVARIANTS = ("partition-complete", "cut-minimal")
 #: Invariants taking a weighted Query (differential optimization).
-QUERY_INVARIANTS = ("bnb-sound", "memo-sound", "plan-agreement", "fastpath-parity")
+QUERY_INVARIANTS = (
+    "bnb-sound",
+    "memo-sound",
+    "plan-agreement",
+    "fastpath-parity",
+    "topk-soundness",
+    "anytime-gap",
+)
 #: Upper bound on n for the exponential graph-level oracles.
 ORACLE_MAX_N = 8
 
@@ -555,6 +786,10 @@ def run_invariants(
             violations += check_plan_agreement(query, matrix=matrix)
         if "fastpath-parity" in selected:
             violations += check_fastpath_parity(query)
+        if "topk-soundness" in selected:
+            violations += check_topk_soundness(query)
+        if "anytime-gap" in selected:
+            violations += check_anytime_gap(query)
     return violations
 
 

@@ -26,9 +26,21 @@ run with the empty order.
 from __future__ import annotations
 
 import enum
-from typing import cast
+import math
+from typing import Sequence, cast
 
 from repro.analysis.metrics import Metrics
+from repro.anytime import (
+    AnytimeReport,
+    Budget,
+    BudgetClock,
+    BudgetExhausted,
+    gap_bound_from,
+    greedy_plan,
+    kbest_join_plans,
+    ranked_scan_plans,
+    static_lower_bound,
+)
 from repro.catalog.query import Query
 from repro.cost.io_model import CostModel, JoinMethod, ProfiledCostModel
 from repro.memo import MemoTable
@@ -40,8 +52,11 @@ from repro.obs.profile import (
     profiled_iter,
 )
 from repro.obs.registry import (
+    ANYTIME_GAP_BOUND,
+    ANYTIME_NODES_SPENT,
     PARTITIONS_PER_EXPRESSION,
     TIME_BETWEEN_JOINS,
+    TOPK_RANKED_DEPTH,
     Histogram,
     MetricsRegistry,
 )
@@ -51,6 +66,17 @@ from repro.partition.base import PartitionStrategy, PlanSpace
 from repro.plans.physical import INFINITY, Plan, plan_cost
 
 __all__ = ["Bounding", "OptimizationError", "TopDownEnumerator"]
+
+#: Relative headroom on the budgets Algorithm 7 threads into child
+#: lookups.  ``remaining = cap - cheapest - left.cost`` accumulates one
+#: rounding error per subtraction, so a candidate whose exact total
+#: qualifies can see its child fail the budget by an ulp — and a
+#: different cost-tied plan wins than in the unbudgeted search, breaking
+#: the champion/top-k bit-identity the ``topk-soundness`` invariant
+#: pins.  The headroom only widens child *exploration*; the accept test
+#: compares exact totals in ``build_join``'s addition order, so any
+#: candidate the slack admits is still rejected unless genuinely better.
+BUDGET_HEADROOM = 1.0 + 1e-12
 
 
 class Bounding(enum.Flag):
@@ -130,6 +156,8 @@ class TopDownEnumerator:
         tracer: Tracer | None = None,
         registry: MetricsRegistry | None = None,
         profiler: KernelProfiler | None = None,
+        default_budget: Budget | None = None,
+        default_topk: int | None = None,
     ) -> None:
         self.query = query
         self.partition = partition
@@ -172,10 +200,31 @@ class TopDownEnumerator:
         self.registry = registry
         self._h_partitions: Histogram | None = None
         self._h_join_gap: Histogram | None = None
+        self._h_gap_bound: Histogram | None = None
+        self._h_anytime_nodes: Histogram | None = None
+        self._h_topk_depth: Histogram | None = None
         if registry is not None:
             self._h_partitions = registry.histogram(PARTITIONS_PER_EXPRESSION)
             self._h_join_gap = registry.histogram(TIME_BETWEEN_JOINS)
+            self._h_gap_bound = registry.histogram(ANYTIME_GAP_BOUND)
+            self._h_anytime_nodes = registry.histogram(ANYTIME_NODES_SPENT)
+            self._h_topk_depth = registry.histogram(TOPK_RANKED_DEPTH)
             self.memo.attach_registry(registry)
+        # Anytime state: a live budget clock charged one node per
+        # memo-missed expression, plus the root-incumbent watch that keeps
+        # the best full-query plan reachable when the clock interrupts the
+        # recursion mid-flight.  `_root_watch` is -1 ("matches no subset")
+        # whenever no anytime run is active, so the champion loops pay one
+        # integer compare and nothing else.
+        self.default_budget = default_budget
+        self.default_topk = default_topk
+        self._budget_clock: BudgetClock | None = None
+        self._root_watch = -1
+        self._root_order: int | None = None
+        self._anytime_best: Plan | None = None
+        #: Gap-bound report of the most recent budgeted :meth:`optimize`
+        #: (``None`` after an unbudgeted run).
+        self.anytime: AnytimeReport | None = None
         self._last_join_at: float | None = None
         # Exclusive per-expression compute clock: only worth its clock()
         # calls when tracing is already paying for spans AND the memo's
@@ -195,6 +244,7 @@ class TopDownEnumerator:
         order: int | None = None,
         *,
         initial_plan: Plan | None = None,
+        budget: Budget | BudgetClock | None = None,
     ) -> Plan:
         """Return the optimal plan for the whole query.
 
@@ -204,17 +254,126 @@ class TopDownEnumerator:
         it is the root's initial upper bound.  The result is never worse
         than ``initial_plan``.
 
+        ``budget`` switches on anytime mode (``docs/anytime.md``): the
+        search charges one node per memo-missed expression against the
+        budget's clock and, when interrupted, returns the best full-query
+        plan found so far (never worse than a zero-node greedy seed), with
+        :attr:`anytime` describing the certified optimality-gap bound.  A
+        :class:`~repro.anytime.BudgetClock` may be passed directly to
+        share one running budget across several phases.  An unlimited
+        ``Budget()`` takes exactly the plain search path and reports a
+        completed, gap-zero outcome.  Falls back to the constructor's
+        ``default_budget`` (the registry's ``?budget`` suffix) when
+        omitted.
+
         When profiling, the whole search runs under one ``enum.recurse``
         frame, so that kernel's exclusive time is exactly the recursion
         glue left over once partition/memo/cost frames are subtracted.
         """
+        if budget is None:
+            budget = self.default_budget
         if self._profiling:
             self.profiler.enter(KERNEL_SEARCH)
         try:
-            return self._optimize(order, initial_plan)
+            if budget is None:
+                self.anytime = None
+                return self._optimize(order, initial_plan)
+            budget_clock = (
+                budget
+                if isinstance(budget, BudgetClock)
+                else BudgetClock(budget)
+            )
+            if budget_clock.unconstrained:
+                plan = self._optimize(order, initial_plan)
+                self.anytime = AnytimeReport(
+                    plan_cost=plan.cost,
+                    lower_bound=plan.cost,
+                    gap_bound=0.0,
+                    nodes_spent=0,
+                    completed=True,
+                    exhausted=False,
+                )
+                return plan
+            return self._optimize_anytime(order, initial_plan, budget_clock)
         finally:
             if self._profiling:
                 self.profiler.exit()
+
+    def _optimize_anytime(
+        self,
+        order: int | None,
+        initial_plan: Plan | None,
+        budget_clock: BudgetClock,
+    ) -> Plan:
+        """Budgeted whole-query search: best-so-far plan plus a gap bound.
+
+        The incumbent starts at ``initial_plan`` or a zero-node greedy
+        seed, so *any* budget — including zero nodes — yields a valid
+        plan.  On interruption the certified floor is the tighter of the
+        static sum-of-cheapest-scans bound and the root's accumulated
+        memo lower bound (Algorithm 7 stores failed budgets as floors).
+        """
+        query = self.query
+        subset = query.graph.all_vertices
+        seed = initial_plan
+        if seed is None:
+            seed = greedy_plan(query, self.cost_model, self.space)
+            if order is not None:
+                seed = self.cost_model.build_sort(query, seed, order)
+        start_nodes = budget_clock.nodes_spent
+        self._budget_clock = budget_clock
+        self._root_watch = subset
+        self._root_order = order
+        self._anytime_best = seed
+        interrupted = False
+        try:
+            plan = self._optimize(order, seed)
+        except BudgetExhausted:
+            interrupted = True
+            incumbent = self._anytime_best
+            assert incumbent is not None  # seeded above, only ever improved
+            plan = incumbent
+        finally:
+            self._budget_clock = None
+            self._root_watch = -1
+            self._root_order = None
+            self._anytime_best = None
+        nodes = budget_clock.nodes_spent - start_nodes
+        metrics = self.metrics
+        metrics.anytime_nodes_spent += nodes
+        if interrupted:
+            metrics.anytime_interrupts += 1
+            floor = static_lower_bound(query, self.cost_model)
+            entry = self.memo.get(query, subset, order)
+            if entry is not None and entry.lower_bound is not None:
+                floor = max(floor, entry.lower_bound)
+            # The incumbent is itself an upper bound on the optimum, so a
+            # floor above its cost would be contradictory; clamping keeps
+            # the bound sound (gap 0 means "provably optimal").
+            floor = min(floor, plan.cost)
+            report = AnytimeReport(
+                plan_cost=plan.cost,
+                lower_bound=floor,
+                gap_bound=gap_bound_from(plan.cost, floor),
+                nodes_spent=nodes,
+                completed=False,
+                exhausted=True,
+            )
+        else:
+            report = AnytimeReport(
+                plan_cost=plan.cost,
+                lower_bound=plan.cost,
+                gap_bound=0.0,
+                nodes_spent=nodes,
+                completed=True,
+                exhausted=False,
+            )
+        self.anytime = report
+        if self._h_anytime_nodes is not None:
+            self._h_anytime_nodes.observe(nodes)
+        if self._h_gap_bound is not None and not math.isinf(report.gap_bound):
+            self._h_gap_bound.observe(report.gap_bound)
+        return plan
 
     def _optimize(self, order: int | None, initial_plan: Plan | None) -> Plan:
         subset = self.query.graph.all_vertices
@@ -270,6 +429,111 @@ class TopDownEnumerator:
             raise OptimizationError(f"no plan for subset {subset:#x}")
         return plan
 
+    # -- ranked (top-k) enumeration --------------------------------------------
+
+    def optimize_topk(
+        self, k: int | None = None, order: int | None = None
+    ) -> tuple[Plan, ...]:
+        """The ``k`` cheapest structurally distinct plans, best first.
+
+        Rank 0 is bit-identical to :meth:`optimize`'s champion (the
+        ``topk-soundness`` invariant); costs are monotone nondecreasing;
+        fewer than ``k`` plans are returned only when the space holds
+        fewer distinct plans.  Ranked lists are memoized per expression
+        (:meth:`~repro.memo.MemoTable.store_ranked`, charged ``k``×
+        footprint against a bounded memo's capacity) and composed lazily
+        at each candidate scan (``docs/anytime.md``).  ``k`` falls back
+        to the constructor's ``default_topk`` (the registry's ``^k``
+        suffix).  Interesting orders are not ranked: only the paper's
+        empty-order pipeline is supported.
+        """
+        if k is None:
+            k = self.default_topk if self.default_topk is not None else 1
+        if k < 1:
+            raise ValueError(f"top-k rank must be >= 1, got {k}")
+        if order is not None:
+            raise OptimizationError(
+                "ranked enumeration supports the empty order only"
+            )
+        if self._profiling:
+            self.profiler.enter(KERNEL_SEARCH)
+        try:
+            ranked = self._topk_for(self.query.graph.all_vertices, k)
+        finally:
+            if self._profiling:
+                self.profiler.exit()
+        if not ranked:
+            raise OptimizationError("no plan exists for the query")
+        if self._h_topk_depth is not None:
+            self._h_topk_depth.observe(len(ranked))
+        return ranked
+
+    def _topk_for(self, subset: int, k: int) -> tuple[Plan, ...]:
+        """The ranked cell for one expression (memoized; may be shorter
+        than ``k`` when the space holds fewer distinct plans)."""
+        query = self.query
+        memo = self.memo
+        entry = memo.get(query, subset, None)
+        if entry is not None:
+            cached = memo.ranked_for_query(query, entry, k)
+            if cached is not None:
+                return tuple(cached[:k])
+        metrics = self.metrics
+        if subset & (subset - 1) == 0:
+            ranked = ranked_scan_plans(
+                list(self._cost_hot.scan_plans(query, subset, None)), k
+            )
+        else:
+            cost_model = self._cost_hot
+            methods = cost_model.JOIN_METHODS
+            pairs = list(
+                self.partition.partitions(query.graph, subset, metrics)
+            )
+            rows = self._topk_operator_cost_rows(pairs)
+            candidates: list[
+                tuple[float, JoinMethod, Sequence[Plan], Sequence[Plan]]
+            ] = []
+            for pair_index, (left, right) in enumerate(pairs):
+                left_ranked = self._topk_for(left, k)
+                if not left_ranked:
+                    continue
+                right_ranked = self._topk_for(right, k)
+                if not right_ranked:
+                    continue
+                row = rows[pair_index]
+                for method_index, method in enumerate(methods):
+                    candidates.append(
+                        (row[method_index], method, left_ranked, right_ranked)
+                    )
+            metrics.topk_candidates_ranked += len(candidates)
+
+            def build(method: JoinMethod, left: Plan, right: Plan) -> Plan:
+                return cost_model.build_join(query, method, left, right)
+
+            ranked = kbest_join_plans(k, candidates, build)
+        if ranked:
+            memo.store_ranked(query, subset, None, ranked, k)
+            metrics.topk_expressions_ranked += 1
+        return ranked
+
+    def _topk_operator_cost_rows(
+        self, pairs: Sequence[tuple[int, int]]
+    ) -> Sequence[Sequence[float]]:
+        """Per-pair operator costs, one row per pair indexed by method.
+
+        The fast path overrides this with one batched kernel call; rows
+        must follow ``JOIN_METHODS`` order so the candidate scan keeps the
+        champion loop's tie-breaking.
+        """
+        query = self.query
+        cost_model = self._cost_hot
+        operator_cost = cost_model.operator_cost
+        methods = cost_model.JOIN_METHODS
+        return [
+            [operator_cost(query, method, left, right) for method in methods]
+            for left, right in pairs
+        ]
+
     # -- Algorithm 1 -----------------------------------------------------------
 
     def _get_best(
@@ -287,6 +551,9 @@ class TopDownEnumerator:
                 if self._tracing:
                     self.tracer.memo_hit(subset, order)
                 return plan
+        budget_clock = self._budget_clock
+        if budget_clock is not None:
+            budget_clock.spend_node()
         is_scan = subset & (subset - 1) == 0
         compute_seconds: float | None = None
         if self._tracing:
@@ -342,6 +609,10 @@ class TopDownEnumerator:
         metrics = self.metrics
         predicted = Bounding.PREDICTED in self.bounding
         metrics.note_expansion((subset, order))
+        # Root-incumbent watch for anytime mode: publishing improvements as
+        # they are found keeps the best full-query plan reachable when the
+        # budget clock interrupts the recursion (one compare when idle).
+        watching = subset == self._root_watch and order == self._root_order
 
         best = seed
         if order is not None:
@@ -350,6 +621,8 @@ class TopDownEnumerator:
                 sorted_plan = cost_model.build_sort(query, unordered, order)
                 if sorted_plan.cost < plan_cost(best):
                     best = sorted_plan
+                    if watching:
+                        self._anytime_best = best
 
         # Hot-loop locals: attribute and bound-method lookups hoisted out
         # of the per-candidate iteration (the `enum.recurse` glue is ~31 %
@@ -402,6 +675,8 @@ class TopDownEnumerator:
                     note_join_costed()
                 if plan.cost < plan_cost(best):
                     best = plan
+                    if watching:
+                        self._anytime_best = best
         if self._h_partitions is not None:
             self._h_partitions.observe(partitions_seen)
         return best
@@ -479,6 +754,9 @@ class TopDownEnumerator:
                 if self._tracing:
                     self.tracer.memo_bound_hit(subset, order)
                 return None
+        budget_clock = self._budget_clock
+        if budget_clock is not None:
+            budget_clock.spend_node()
         is_scan = subset & (subset - 1) == 0
         compute_seconds: float | None = None
         if self._tracing:
@@ -546,6 +824,8 @@ class TopDownEnumerator:
         metrics = self.metrics
         predicted = Bounding.PREDICTED in self.bounding
         metrics.note_expansion((subset, order))
+        # Root-incumbent watch, as in `_calc_best_join`.
+        watching = subset == self._root_watch and order == self._root_order
 
         best: Plan | None = None
         if seed is not None and seed.cost <= budget:
@@ -557,6 +837,8 @@ class TopDownEnumerator:
                 sorted_plan = cost_model.build_sort(query, unordered, order)
                 if sorted_plan.cost < plan_cost(best):
                     best = sorted_plan
+                    if watching:
+                        self._anytime_best = best
 
         # Hot-loop locals, as in `_calc_best_join`.
         tracing = self._tracing
@@ -607,7 +889,7 @@ class TopDownEnumerator:
             # loosest budget fails them all) and avoids re-deriving the
             # children per method when the memo cannot absorb it.
             cheapest = min(cost for cost, _ in methods)
-            remaining = cap - cheapest
+            remaining = cap * BUDGET_HEADROOM - cheapest
             if remaining < 0:
                 continue
             left_plan = get_best_budgeted(left, None, remaining)
@@ -626,6 +908,8 @@ class TopDownEnumerator:
                     best = build_join(
                         query, method, left_plan, right_plan
                     )
+                    if watching:
+                        self._anytime_best = best
         if self._h_partitions is not None:
             self._h_partitions.observe(partitions_seen)
         return best

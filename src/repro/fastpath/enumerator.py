@@ -35,11 +35,11 @@ must see the scalar calls it documents.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Sequence
 
 from repro.catalog.query import Query
 from repro.cost.io_model import CostModel
-from repro.enumerator import Bounding, TopDownEnumerator
+from repro.enumerator import BUDGET_HEADROOM, Bounding, TopDownEnumerator
 from repro.partition.base import PartitionStrategy
 from repro.plans.physical import Plan, plan_cost
 from repro.fastpath.batch import BatchCostKernel
@@ -79,6 +79,14 @@ class FastTopDownEnumerator(TopDownEnumerator):
         """The batch backend in use (``python`` or ``numpy``)."""
         return self._batch.backend
 
+    def _topk_operator_cost_rows(
+        self, pairs: Sequence[tuple[int, int]]
+    ) -> Sequence[Sequence[float]]:
+        # One batched kernel call replaces the oracle's per-(pair, method)
+        # scalar costing; the kernel is bit-identical to the scalar model,
+        # so ranked cells agree exactly (the `topk-soundness` invariant).
+        return self._batch.operator_costs(pairs)
+
     # -- Algorithm 1, batched ----------------------------------------------------
 
     def _calc_best_join(
@@ -92,6 +100,8 @@ class FastTopDownEnumerator(TopDownEnumerator):
         query = self.query
         metrics = self.metrics
         metrics.note_expansion((subset, None))
+        # Root-incumbent watch for anytime mode, as in the oracle loops.
+        watching = subset == self._root_watch and self._root_order is None
         tracing = self._tracing
         h_join_gap = self._h_join_gap
         get_best = self._get_best
@@ -135,6 +145,8 @@ class FastTopDownEnumerator(TopDownEnumerator):
                         query, methods[method_index], left_plan, right_plan
                     )
                     best_cost = best.cost
+                    if watching:
+                        self._anytime_best = best
         metrics.join_operators_costed += joins_costed
         if self._h_partitions is not None:
             self._h_partitions.observe(len(pairs))
@@ -150,6 +162,8 @@ class FastTopDownEnumerator(TopDownEnumerator):
         query = self.query
         metrics = self.metrics
         metrics.note_expansion((subset, None))
+        # Root-incumbent watch for anytime mode, as in the oracle loops.
+        watching = subset == self._root_watch and self._root_order is None
         tracing = self._tracing
         h_join_gap = self._h_join_gap
         get_best_budgeted = self._get_best_budgeted
@@ -176,7 +190,10 @@ class FastTopDownEnumerator(TopDownEnumerator):
                     self.tracer.predicted_prune(left, right, bounds[index])
                 continue
             candidate = operator_costs[index]
-            remaining = cap - min(candidate)
+            # BUDGET_HEADROOM: see the oracle's `_calc_best_join_budgeted` —
+            # exploration slack against subtraction rounding; the accept
+            # test below stays exact.
+            remaining = cap * BUDGET_HEADROOM - min(candidate)
             if remaining < 0:
                 continue
             left_plan = get_best_budgeted(left, None, remaining)
@@ -197,6 +214,8 @@ class FastTopDownEnumerator(TopDownEnumerator):
                         query, methods[method_index], left_plan, right_plan
                     )
                     best_cost = best.cost
+                    if watching:
+                        self._anytime_best = best
         if self._h_partitions is not None:
             self._h_partitions.observe(len(pairs))
         return best

@@ -6,7 +6,8 @@ nothing else.  One f-string or tracer-event payload built outside such a
 guard charges every production run for observability it did not ask for —
 exactly the incidental cost DPconv shows enumeration hot paths cannot
 absorb.  This rule statically enforces the guard discipline in
-``repro.enumerator`` and ``repro.partition``.
+``repro.enumerator``, ``repro.partition``, ``repro.fastpath``, and
+``repro.anytime``.
 """
 
 from __future__ import annotations
@@ -30,8 +31,9 @@ _TRACER_METHODS = frozenset(
 _PROFILER_METHODS = frozenset({"enter", "exit", "count"})
 
 #: Functions that are off the search hot path by construction.
+#: ``token`` renders a registry suffix — setup, like ``describe``.
 _COLD_FUNCTIONS = frozenset(
-    {"__init__", "__repr__", "__str__", "describe", "summary", "to_dict"}
+    {"__init__", "__repr__", "__str__", "describe", "summary", "to_dict", "token"}
 )
 
 
@@ -70,7 +72,12 @@ class HotPathPurityRule(Rule):
         "string/log/tracer/profiler payload built outside an "
         "instrumentation-active guard on the enumeration hot path"
     )
-    scope = ("repro.enumerator", "repro.partition", "repro.fastpath")
+    scope = (
+        "repro.enumerator",
+        "repro.partition",
+        "repro.fastpath",
+        "repro.anytime",  # seeds/k-best run inside the budgeted search
+    )
 
     def check(self, module: ModuleSource) -> Iterator[Finding]:
         findings: list[Finding] = []

@@ -4,7 +4,8 @@ The architecture is a strict layering (lowest first)::
 
     core → {spaces, catalog} → {analysis, workloads, plans}
          → {obs, cost, cache, exec} → partition
-         → {memo, bottomup, prefix, transform} → {enumerator, fastpath}
+         → {memo, bottomup, prefix, transform}
+         → {enumerator, fastpath, anytime}
          → parallel → registry → {multiphase, serve} → experiments
          → conformance → {lint, cli}
 
@@ -54,6 +55,7 @@ LAYERS: dict[str, int] = {
     "repro.transform": 5,
     "repro.enumerator": 6,
     "repro.fastpath": 6,  # peers with the oracle it subclasses
+    "repro.anytime": 6,  # budgets/seeds/k-best the enumerator composes
     "repro.registry": 7,
     "repro.parallel": 8,
     "repro.multiphase": 9,

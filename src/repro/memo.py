@@ -53,15 +53,31 @@ WireEntry = tuple[int, Optional[int], Optional[tuple[object, ...]], Optional[flo
 
 @dataclass
 class MemoEntry:
-    """One populated memo cell: an optimal plan or a failed-budget bound."""
+    """One populated memo cell: an optimal plan or a failed-budget bound.
+
+    Ranked (top-k) enumeration widens a cell to ``ranked`` — the k
+    cheapest distinct plans for the expression, champion first, with
+    ``ranked_k`` recording the k it was computed under (``len(ranked) <
+    ranked_k`` means the expression has fewer than k plans in total, so
+    the list is exhaustive).  Ranked cells occupy ``len(ranked)``
+    footprint units against a bounded memo's capacity; demotion to the
+    cold tier and shared write-through keep the champion only.
+    """
 
     plan: Optional[Plan] = None
     lower_bound: Optional[float] = None
+    ranked: Optional[tuple[Plan, ...]] = None
+    ranked_k: int = 0
 
     @property
     def has_plan(self) -> bool:
         """True iff the cell stores a plan (not just a lower bound)."""
         return self.plan is not None
+
+    @property
+    def footprint(self) -> int:
+        """Capacity units this cell charges (k for ranked cells, else 1)."""
+        return len(self.ranked) if self.ranked else 1
 
 
 class MemoTable:
@@ -124,6 +140,8 @@ class MemoTable:
             self._cold = ColdTier(cold_capacity)
         self._cells: OrderedDict[Hashable, MemoEntry] = OrderedDict()
         self._weights: dict[Hashable, float] = {}
+        #: Capacity units occupied (== cell count until ranked cells appear).
+        self._footprint = 0
         # Per-cell weights are bookkept only when something consumes them:
         # a weight-driven policy or the cold tier (which reports the
         # recompute cost a promotion saved).
@@ -225,9 +243,16 @@ class MemoTable:
         return logical_cost_proxy(query, subset, order)
 
     def _evict_one(self) -> None:
-        """Demote (or drop) one cell according to the eviction policy."""
+        """Demote (or drop) one cell according to the eviction policy.
+
+        Ranked cells demote champion-only: the wire format (and thus the
+        cold tier) carries one plan, so the ranked tail is the price of
+        eviction — exactly the k× footprint pressure the eviction-quality
+        experiments exercise.
+        """
         victim = self._policy.choose_victim(self._cells)
         entry = self._cells.pop(victim)
+        self._footprint -= entry.footprint
         self._policy.on_remove(victim)
         weight = self._weights.pop(victim, 1.0) if self._track_weights else 1.0
         if self._cold is not None:
@@ -348,6 +373,64 @@ class MemoTable:
         if self.shared is not None and self.shared is not self:
             self.shared.store_plan(query, subset, order, plan)
 
+    def store_ranked(
+        self,
+        query: Query,
+        subset: int,
+        order: int | None,
+        plans: "tuple[Plan, ...]",
+        k: int,
+        *,
+        compute_seconds: float | None = None,
+    ) -> None:
+        """Store the k-best ranked plans of one expression (champion first).
+
+        The cell charges ``len(plans)`` footprint units against a bounded
+        capacity, and weight-driven policies scale the recompute weight by
+        the same factor — losing a ranked cell forfeits k compositions,
+        not one.  Only the champion is written through to a shared cache
+        (ranked tails are query-local: relabelling k plans per probe
+        would defeat the cross-query fast path).
+        """
+        if not plans:
+            raise ValueError("store_ranked needs at least the champion plan")
+        key = self.key_for(query, subset, order)
+        weight = None
+        if self._track_weights:
+            weight = self._weight_for(query, subset, order, compute_seconds)
+            weight *= len(plans)
+        entry = MemoEntry(plan=plans[0], ranked=tuple(plans), ranked_k=k)
+        self._store(key, entry, weight=weight)
+        if self.shared is not None and self.shared is not self:
+            self.shared.store_plan(query, subset, order, plans[0])
+
+    def ranked_for_query(
+        self, query: Query, entry: MemoEntry, k: int
+    ) -> "tuple[Plan, ...] | None":
+        """The entry's ranked plans if they satisfy a request for ``k``.
+
+        Valid when the stored list has at least ``k`` plans, or is
+        exhaustive (``len(ranked) < ranked_k`` — the expression has no
+        further distinct plans).  Returns ``None`` when the cell cannot
+        answer and must be recomputed.
+        """
+        ranked = entry.ranked
+        if ranked is None:
+            return None
+        if len(ranked) >= k:
+            return ranked[:k]
+        if len(ranked) < entry.ranked_k:
+            return ranked
+        return None
+
+    def ranked_cells(self) -> int:
+        """Cells currently holding a ranked (top-k) plan list."""
+        return sum(1 for e in self._cells.values() if e.ranked is not None)
+
+    def footprint(self) -> int:
+        """Capacity units occupied (== cell count without ranked cells)."""
+        return self._footprint
+
     def store_lower_bound(
         self,
         query: Query,
@@ -382,14 +465,24 @@ class MemoTable:
         bounded = capacity is not None
         if self._track_weights:
             self._weights[key] = 1.0 if weight is None else weight
+        footprint = entry.footprint
         if key in cells:
+            self._footprint += footprint - cells[key].footprint
             cells[key] = entry
             if bounded:
                 self._policy.on_store(cells, key)
+                # A replacement may grow the cell (plain -> ranked) past
+                # capacity; shed cells until it fits or one remains (an
+                # oversized lone cell is tolerated, like any oversized
+                # cache object).
+                while self._footprint > capacity and len(cells) > 1:
+                    self._evict_one()
         else:
-            if capacity is not None and len(cells) >= capacity:
-                self._evict_one()
+            if capacity is not None:
+                while cells and self._footprint + footprint > capacity:
+                    self._evict_one()
             cells[key] = entry
+            self._footprint += footprint
             if bounded:
                 self._policy.on_store(cells, key)
         if self.metrics is not None:
@@ -488,8 +581,10 @@ class MemoTable:
             "capacity": self.capacity,
             "cold_capacity": self.cold_capacity,
             "occupancy": len(self._cells),
+            "footprint": self._footprint,
             "plan_cells": self.plan_cells(),
             "bound_cells": self.bound_cells(),
+            "ranked_cells": self.ranked_cells(),
             "cold_cells": self.cold_cells(),
             "shared": self.shared is not None,
         }
@@ -502,6 +597,7 @@ class MemoTable:
         """Drop every cell (all tiers) and all policy state."""
         self._cells.clear()
         self._weights.clear()
+        self._footprint = 0
         self._policy.reset()
         if self._cold is not None:
             self._cold.clear()
@@ -648,6 +744,29 @@ class GlobalPlanCache(MemoTable):
             if self._track_weights:
                 weight = self._weight_for(query, subset, order, compute_seconds)
             self._store(key, MemoEntry(plan=plan), weight=weight)
+
+    def store_ranked(
+        self,
+        query: Query,
+        subset: int,
+        order: int | None,
+        plans: "tuple[Plan, ...]",
+        k: int,
+        *,
+        compute_seconds: float | None = None,
+    ) -> None:
+        """Cross-query cells keep champions only; the ranked tail is local."""
+        if not plans:
+            raise ValueError("store_ranked needs at least the champion plan")
+        self.store_plan(
+            query, subset, order, plans[0], compute_seconds=compute_seconds
+        )
+
+    def ranked_for_query(
+        self, query: Query, entry: MemoEntry, k: int
+    ) -> "tuple[Plan, ...] | None":
+        """Never answers ranked requests (plans are writer-numbered)."""
+        return None
 
     def plan_for_query(self, query: Query, entry: MemoEntry) -> Optional[Plan]:
         """Relabel the stored plan into the reading query's numbering."""

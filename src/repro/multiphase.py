@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.metrics import Metrics
+from repro.anytime import AnytimeReport, Budget, BudgetClock
 from repro.catalog.query import Query
 from repro.core.bitset import popcount
 from repro.cost.io_model import CostModel
@@ -55,6 +56,9 @@ class PhaseResult:
     metrics: Metrics
     #: Populated by ``optimize_multiphase(..., trace=True)``.
     tracer: RecordingTracer | None = None
+    #: Gap-bound report of a budgeted phase
+    #: (``optimize_multiphase(..., budget=...)``), ``None`` otherwise.
+    anytime: AnytimeReport | None = None
 
 
 @dataclass(frozen=True)
@@ -67,6 +71,11 @@ class MultiPhaseResult:
     def plan(self) -> Plan:
         """The final (largest-space) optimal plan."""
         return self.phases[-1].plan
+
+    @property
+    def anytime(self) -> AnytimeReport | None:
+        """The final phase's gap report (budgeted runs only)."""
+        return self.phases[-1].anytime
 
     @property
     def total_metrics(self) -> Metrics:
@@ -83,6 +92,7 @@ def optimize_multiphase(
     cost_model: CostModel | None = None,
     *,
     trace: bool = False,
+    budget: Budget | None = None,
 ) -> MultiPhaseResult:
     """Run ``algorithms`` in sequence, seeding each with the previous optimum.
 
@@ -96,10 +106,19 @@ def optimize_multiphase(
     :class:`~repro.obs.tracer.RecordingTracer` (stored on the
     :class:`PhaseResult`) so :func:`explain_phases` can reconstruct
     per-subplan reuse/reject decisions afterwards.
+
+    ``budget`` makes the whole run anytime (``docs/anytime.md``): one
+    shared :class:`~repro.anytime.BudgetClock` is threaded through every
+    top-down phase, so the limit bounds the *total* search.  Once the
+    clock exhausts, later phases degrade to their incumbent seeds; each
+    budgeted phase's gap report lands on ``PhaseResult.anytime``.  A
+    budgeted run requires every phase to be top-down (a bottom-up phase
+    cannot be interrupted).
     """
     if not algorithms:
         raise ValueError("need at least one phase")
     cost_model = cost_model if cost_model is not None else CostModel()
+    shared_clock = BudgetClock(budget) if budget is not None else None
     phases: list[PhaseResult] = []
     incumbent: Plan | None = None
     for position, name in enumerate(algorithms):
@@ -109,17 +128,33 @@ def optimize_multiphase(
         optimizer = make_optimizer(
             name, query, cost_model, metrics=metrics, tracer=tracer
         )
+        anytime: AnytimeReport | None = None
         if isinstance(optimizer, TopDownEnumerator):
-            plan = optimizer.optimize(initial_plan=incumbent)
+            plan = optimizer.optimize(
+                initial_plan=incumbent, budget=shared_clock
+            )
+            anytime = optimizer.anytime
         else:
             if position > 0:
                 raise ValueError(
                     f"phase {position} ({name}): bottom-up algorithms cannot "
                     "exploit a seed plan; use a top-down phase"
                 )
+            if shared_clock is not None:
+                raise ValueError(
+                    f"phase {position} ({name}): a budgeted multi-phase run "
+                    "requires top-down phases (bottom-up search cannot be "
+                    "interrupted)"
+                )
             plan = optimizer.optimize()
         phases.append(
-            PhaseResult(algorithm=name, plan=plan, metrics=metrics, tracer=tracer)
+            PhaseResult(
+                algorithm=name,
+                plan=plan,
+                metrics=metrics,
+                tracer=tracer,
+                anytime=anytime,
+            )
         )
         incumbent = plan
     return MultiPhaseResult(phases=tuple(phases))

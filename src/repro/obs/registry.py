@@ -38,6 +38,9 @@ __all__ = [
     "SERVE_QUEUE_DEPTH",
     "SERVE_BATCH_SIZE",
     "SERVE_REQUEST_SECONDS",
+    "ANYTIME_GAP_BOUND",
+    "ANYTIME_NODES_SPENT",
+    "TOPK_RANKED_DEPTH",
 ]
 
 #: Well-known instrument names used by the built-in instrumentation.
@@ -59,6 +62,11 @@ SERVE_ERRORS = "serve_errors"
 SERVE_QUEUE_DEPTH = "serve_queue_depth"  # histogram, sampled at dispatch
 SERVE_BATCH_SIZE = "serve_batch_size"  # histogram, per dispatched batch
 SERVE_REQUEST_SECONDS = "serve_request_seconds"  # timer, admission→reply
+
+#: Instruments of the ``repro.anytime`` machinery (histograms).
+ANYTIME_GAP_BOUND = "anytime_gap_bound"  # finite gap bounds of budgeted runs
+ANYTIME_NODES_SPENT = "anytime_nodes_spent"  # nodes charged per budgeted run
+TOPK_RANKED_DEPTH = "topk_ranked_depth"  # plans returned per optimize_topk
 
 
 class Counter:

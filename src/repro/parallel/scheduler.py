@@ -42,6 +42,7 @@ import multiprocessing
 import os
 
 from repro.analysis.metrics import Metrics
+from repro.anytime import AnytimeReport, Budget
 from repro.catalog.query import Query
 from repro.cost.io_model import CostModel
 from repro.enumerator import Bounding
@@ -118,6 +119,7 @@ class ParallelEnumerator:
         trace_dir: str | None = None,
         start_method: str | None = None,
         global_cache: GlobalPlanCache | None = None,
+        budget: Budget | None = None,
     ) -> None:
         from repro.registry import parse_name, resolve_alias
 
@@ -155,6 +157,12 @@ class ParallelEnumerator:
         self.registry = registry
         self.trace_dir = trace_dir
         self.start_method = start_method
+        #: Default anytime budget applied by :meth:`optimize` (the
+        #: registry's ``?budget`` suffix); bounds the serial finishing
+        #: pass — the level rounds run unbudgeted in worker processes.
+        self.default_budget = budget
+        #: Gap-bound report of the last budgeted :meth:`optimize`.
+        self.anytime: AnytimeReport | None = None
         #: Per-worker results of the last :meth:`optimize` (metrics,
         #: registries, span counts) — inspection and tests.
         self.worker_results = []
@@ -178,20 +186,34 @@ class ParallelEnumerator:
         )
 
     def optimize(
-        self, order: int | None = None, *, initial_plan: Plan | None = None
+        self,
+        order: int | None = None,
+        *,
+        initial_plan: Plan | None = None,
+        budget: Budget | None = None,
     ) -> Plan:
-        """Return the optimal plan, identical to the serial algorithm's."""
+        """Return the optimal plan, identical to the serial algorithm's.
+
+        ``budget`` (or the constructor's default) bounds the serial
+        finishing pass over the merged memo — with warm worker entries it
+        is mostly memo hits, so the budget cuts only the residual search;
+        :attr:`anytime` carries the finishing enumerator's gap report.
+        """
+        if budget is None:
+            budget = self.default_budget
         graph = self.query.graph
         policy = "level" if self.policy == "auto" else self.policy
-        if graph.n < _MIN_PARALLEL_VERTICES:
-            return self._serial().optimize(order, initial_plan=initial_plan)
-        if self.trace_dir is not None:
-            os.makedirs(self.trace_dir, exist_ok=True)
-        if policy == "level":
-            self._run_level()
-        else:
-            self._run_subtree(initial_plan)
-        return self._serial().optimize(order, initial_plan=initial_plan)
+        if graph.n >= _MIN_PARALLEL_VERTICES:
+            if self.trace_dir is not None:
+                os.makedirs(self.trace_dir, exist_ok=True)
+            if policy == "level":
+                self._run_level()
+            else:
+                self._run_subtree(initial_plan)
+        finishing = self._serial()
+        plan = finishing.optimize(order, initial_plan=initial_plan, budget=budget)
+        self.anytime = finishing.anytime
+        return plan
 
     # -- policies -------------------------------------------------------------
 

@@ -1,6 +1,6 @@
 """Physical plan representation and validation."""
 
-from repro.plans.physical import Plan, plan_cost, INFINITY
+from repro.plans.physical import Plan, PlanWire, plan_cost, INFINITY
 from repro.plans.validate import (
     PlanValidationError,
     is_left_deep,
@@ -10,6 +10,7 @@ from repro.plans.validate import (
 
 __all__ = [
     "Plan",
+    "PlanWire",
     "plan_cost",
     "INFINITY",
     "PlanValidationError",

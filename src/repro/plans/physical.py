@@ -16,10 +16,16 @@ from typing import Optional
 
 from repro.core.bitset import iter_bits
 
-__all__ = ["INFINITY", "Plan", "plan_cost"]
+__all__ = ["INFINITY", "Plan", "PlanWire", "plan_cost"]
 
 #: Cost of the NULL plan (paper: "Let Cost(NULL) = ∞").
 INFINITY = float("inf")
+
+#: The nested-tuple encoding of :meth:`Plan.to_wire`:
+#: ``(op, vertices, cost, cardinality, order, relation, children)``.
+PlanWire = tuple[
+    str, int, float, float, Optional[int], Optional[str], tuple["PlanWire", ...]
+]
 
 
 @dataclass(frozen=True)
@@ -101,7 +107,7 @@ class Plan:
             children=tuple(c.relabel(mapping) for c in self.children),
         )
 
-    def to_wire(self) -> tuple:
+    def to_wire(self) -> PlanWire:
         """Compact pickle-safe encoding (nested tuples, no class refs).
 
         Used by the parallel subsystem to ship memo entries between
@@ -119,7 +125,7 @@ class Plan:
         )
 
     @classmethod
-    def from_wire(cls, wire: tuple) -> "Plan":
+    def from_wire(cls, wire: PlanWire) -> "Plan":
         """Rebuild a plan tree from :meth:`to_wire` output."""
         op, vertices, cost, cardinality, order, relation, children = wire
         return cls(

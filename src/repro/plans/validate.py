@@ -44,7 +44,8 @@ def is_left_deep(plan: Plan) -> bool:
         right = right.children[0]
     if right is None or not right.is_scan:
         return False
-    return is_left_deep(plan.left)
+    left = plan.left
+    return left is not None and is_left_deep(left)
 
 
 def plan_contains_cartesian_product(plan: Plan, query: Query) -> bool:

@@ -36,6 +36,17 @@ costing, bit-identical plans.  It composes with the other suffixes in
 any order; the canonical form puts it last (``TBNmc@2%cost:64!fast``).
 ``REPRO_FASTPATH=off`` overrides the suffix everywhere (see
 :func:`repro.fastpath.detect.resolve_fastpath` for the precedence).
+
+A trailing ``?budget`` requests anytime search (``docs/anytime.md``):
+``TBNmc?250ms`` bounds wall clock, ``TBNmc?5000n`` bounds memo-missed
+expression computations (deterministic), ``TBNmc?250ms:5000n`` both.
+The optimizer's ``optimize()`` then returns the best plan found within
+the budget and reports a certified optimality-gap bound on its
+``anytime`` attribute.  A trailing ``^k`` sets the default rank depth of
+``optimize_topk()`` (``TBNmc^3`` ranks the 3 cheapest distinct plans).
+Both compose with ``%policy`` and ``!fast`` in any order — canonical
+form ``TBNmc@2%cost:64?250ms^3!fast`` — but are top-down only, and
+``^k`` is serial only (ranked cells live in one memo).
 """
 
 from __future__ import annotations
@@ -45,6 +56,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.analysis.metrics import Metrics
+from repro.anytime import Budget
 from repro.bottomup import DPccp, DPsize, DPsub
 from repro.catalog.query import Query
 from repro.cost.io_model import CostModel
@@ -79,8 +91,10 @@ __all__ = [
     "optimize",
     "parse_name",
     "resolve_alias",
+    "split_budget",
     "split_fastpath",
     "split_memo_policy",
+    "split_topk",
     "split_workers",
 ]
 
@@ -169,9 +183,11 @@ def split_memo_policy(name: str) -> tuple[str, MemoSpec | None]:
     base, sep, tail = name.partition("%")
     if not sep:
         return name, None
-    tail, at, workers = tail.partition("@")
-    if at:
-        base = f"{base}@{workers}"
+    for index, char in enumerate(tail):
+        if char in "@!?^":
+            base += tail[index:]
+            tail = tail[:index]
+            break
     parts = tail.split(":")
     policy = parts[0].lower()
     if policy not in POLICY_NAMES:
@@ -210,8 +226,13 @@ def split_workers(name: str) -> tuple[str, int | None]:
     base, sep, tail = name.partition("@")
     if not sep:
         return name, None
+    token, rest = tail, ""
+    for index, char in enumerate(tail):
+        if char in "%!?^":
+            token, rest = tail[:index], tail[index:]
+            break
     try:
-        workers = int(tail)
+        workers = int(token)
     except ValueError:
         workers = 0
     if workers < 1:
@@ -219,7 +240,7 @@ def split_workers(name: str) -> tuple[str, int | None]:
             f"invalid worker count in algorithm name {name!r}; "
             "expected e.g. TBNmc@4"
         )
-    return base, workers
+    return base + rest, workers
 
 
 def split_fastpath(name: str) -> tuple[str, bool]:
@@ -235,7 +256,7 @@ def split_fastpath(name: str) -> tuple[str, bool]:
         return name, False
     token, rest = tail, ""
     for index, char in enumerate(tail):
-        if char in "@%":
+        if char in "@%?^":
             token, rest = tail[:index], tail[index:]
             break
     if token.lower() != "fast":
@@ -246,6 +267,58 @@ def split_fastpath(name: str) -> tuple[str, bool]:
     return base + rest, True
 
 
+def split_budget(name: str) -> tuple[str, Budget | None]:
+    """Split a ``?budget`` anytime suffix out of an algorithm name.
+
+    The suffix body follows :meth:`repro.anytime.Budget.parse_token`
+    (``250ms``, ``5000n``, ``250ms:5000n``) and composes with the other
+    suffixes in any order; whatever suffix text follows the budget token
+    is reattached to the returned base.  Names without ``?`` return
+    ``(name, None)``.
+    """
+    base, sep, tail = name.partition("?")
+    if not sep:
+        return name, None
+    token, rest = tail, ""
+    for index, char in enumerate(tail):
+        if char in "@%!^":
+            token, rest = tail[:index], tail[index:]
+            break
+    try:
+        budget = Budget.parse_token(token)
+    except ValueError as error:
+        raise ValueError(
+            f"invalid ?budget suffix in algorithm name {name!r}: {error}"
+        ) from None
+    return base + rest, budget
+
+
+def split_topk(name: str) -> tuple[str, int | None]:
+    """Split a ``^k`` default-rank suffix out of an algorithm name.
+
+    ``k`` is the default depth of ``optimize_topk()``; it composes with
+    the other suffixes in any order, and names without ``^`` return
+    ``(name, None)``.
+    """
+    base, sep, tail = name.partition("^")
+    if not sep:
+        return name, None
+    token, rest = tail, ""
+    for index, char in enumerate(tail):
+        if char in "@%!?":
+            token, rest = tail[:index], tail[index:]
+            break
+    try:
+        k = int(token)
+    except ValueError:
+        k = 0
+    if k < 1:
+        raise ValueError(
+            f"invalid ^k rank in algorithm name {name!r}; expected e.g. TBNmc^3"
+        )
+    return base + rest, k
+
+
 def resolve_alias(name: str) -> str:
     """Map a friendly alias to its Table 1 name; other names pass through.
 
@@ -254,11 +327,14 @@ def resolve_alias(name: str) -> str:
     worker-count suffix is preserved too, and overrides any count the
     alias itself carries (``parallel@2`` resolves to ``TBNmc@2``); a
     ``%policy`` memo suffix is carried along unchanged
-    (``mincutlazy%cost:64`` resolves to ``TBNmc%cost:64``), as is a
-    ``!fast`` suffix, normalised to canonical last position
-    (``mincutlazy!fast@2`` resolves to ``TBNmc@2!fast``).
+    (``mincutlazy%cost:64`` resolves to ``TBNmc%cost:64``), as are
+    ``?budget`` and ``^k`` suffixes and a ``!fast`` suffix, normalised
+    to the canonical order ``@N %policy ?budget ^k !fast``
+    (``mincutlazy!fast?100n@2`` resolves to ``TBNmc@2?100n!fast``).
     """
     name, fast = split_fastpath(name)
+    name, budget = split_budget(name)
+    name, top_k = split_topk(name)
     name, memo_spec = split_memo_policy(name)
     base, workers = split_workers(name)
     normalized = base.lower().replace("-", "").replace("_", "")
@@ -283,6 +359,10 @@ def resolve_alias(name: str) -> str:
             if memo_spec.cold_capacity:
                 suffix += f":{memo_spec.cold_capacity}"
         resolved_base += suffix
+    if budget is not None:
+        resolved_base += f"?{budget.token()}"
+    if top_k is not None:
+        resolved_base += f"^{top_k}"
     if fast:
         resolved_base += "!fast"
     return resolved_base
@@ -291,11 +371,13 @@ def resolve_alias(name: str) -> str:
 def parse_name(name: str) -> AlgorithmSpec:
     """Parse a Table 1 style algorithm name (or a friendly alias).
 
-    ``@N`` worker-count, ``%policy`` memo, and ``!fast`` suffixes are
-    accepted and ignored: the spec describes the underlying serial
-    algorithm.
+    ``@N`` worker-count, ``%policy`` memo, ``?budget``, ``^k``, and
+    ``!fast`` suffixes are accepted and ignored: the spec describes the
+    underlying serial algorithm.
     """
     base, _fast = split_fastpath(resolve_alias(name))
+    base, _budget = split_budget(base)
+    base, _top_k = split_topk(base)
     base, _memo_spec = split_memo_policy(base)
     base, _workers = split_workers(base)
     match = _NAME_PATTERN.match(base)
@@ -439,6 +521,8 @@ def make_optimizer(
     global_cache: GlobalPlanCache | None = None,
     fastpath: str | None = None,
     fastpath_backend: str | None = None,
+    budget: Budget | None = None,
+    top_k: int | None = None,
 ):
     """Instantiate the named algorithm over ``query``.
 
@@ -476,17 +560,45 @@ def make_optimizer(
     an ambient ``REPRO_FASTPATH=on`` silently keeps the oracle.
     ``fastpath_backend`` pins the batch backend (``"python"`` |
     ``"numpy"``) for serial fast-path runs; workers auto-detect.
+
+    The anytime budget comes from a ``?budget`` suffix on ``name``
+    and/or the explicit ``budget`` argument (explicit wins) and becomes
+    the enumerator's default: ``optimize()`` then runs the anytime
+    search of ``docs/anytime.md``.  The default ``optimize_topk`` rank
+    comes from a ``^k`` suffix and/or the explicit ``top_k`` argument
+    (explicit wins).  Both require a top-down algorithm; ranked
+    enumeration is additionally serial-only, while a budget on a
+    parallel ``@N`` run bounds the finishing pass (the level rounds run
+    unbudgeted in worker processes).
     """
     if fastpath not in {None, "auto", "on", "off"}:
         raise ValueError(
             f"invalid fastpath override {fastpath!r}; expected auto, on, or off"
         )
     resolved, fast_requested = split_fastpath(resolve_alias(name))
-    base, memo_spec = split_memo_policy(resolved)
+    base, suffix_budget = split_budget(resolved)
+    base, suffix_topk = split_topk(base)
+    base, memo_spec = split_memo_policy(base)
     base, suffix_workers = split_workers(base)
+    if budget is None:
+        budget = suffix_budget
+    if top_k is None:
+        top_k = suffix_topk
     if workers is None:
         workers = suffix_workers
     spec = parse_name(base)
+    if (budget is not None or top_k is not None) and not spec.top_down:
+        raise ValueError(
+            f"{name!r}: anytime budgets and ranked enumeration require "
+            "top-down partition search"
+        )
+    if top_k is not None and top_k < 1:
+        raise ValueError(f"top_k must be >= 1, got {top_k}")
+    if top_k is not None and workers is not None:
+        raise ValueError(
+            f"{name!r}: ranked enumeration is serial-only (ranked memo "
+            "cells live in one memo); drop ^k or the @N worker count"
+        )
     use_fast = resolve_fastpath(fast_requested, fastpath)
     fast_explicit = fast_requested or fastpath == "on"
     if use_fast and not spec.top_down:
@@ -564,6 +676,7 @@ def make_optimizer(
             trace_dir=worker_trace_dir,
             start_method=start_method,
             global_cache=global_cache,
+            budget=budget,
         )
     if spec.top_down:
         if use_fast:
@@ -577,6 +690,8 @@ def make_optimizer(
                 metrics=metrics,
                 tracer=tracer,
                 registry=registry,
+                default_budget=budget,
+                default_topk=top_k,
             )
         return TopDownEnumerator(
             query,
@@ -588,6 +703,8 @@ def make_optimizer(
             tracer=tracer,
             registry=registry,
             profiler=profiler,
+            default_budget=budget,
+            default_topk=top_k,
         )
     if memo is not None:
         raise ValueError("bottom-up algorithms manage their own plan table")

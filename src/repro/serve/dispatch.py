@@ -26,7 +26,7 @@ from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import Tracer
 from repro.plans.physical import Plan
 from repro.registry import make_optimizer, parse_name
-from repro.serve.protocol import OptimizeRequest
+from repro.serve.protocol import OptimizeOutcome, OptimizeRequest
 from repro.serve.queue import InFlight, RequestQueue
 from repro.serve.stats import ServiceStats
 
@@ -84,8 +84,16 @@ class Dispatcher:
 
     # -- optimization (worker-thread context) -------------------------------------
 
-    def optimize(self, request: OptimizeRequest) -> Plan:
-        """Run one optimization, populating the family cache."""
+    def optimize(self, request: OptimizeRequest) -> OptimizeOutcome:
+        """Run one optimization, populating the family cache.
+
+        Budgeted requests carry the gap report on the outcome; an
+        exhausted search leaves no full-query cell behind (the memo only
+        stores cells it *completed*, so a best-so-far plan can never be
+        served as the champion later).  Ranked requests return the full
+        top-k list; their exhaustive champion pass still deposits every
+        optimal sub-plan in the family cache.
+        """
         cache = self.cache_for(request.serial_base)
         registry = MetricsRegistry() if self._collect else None
         top_down = parse_name(request.serial_base).top_down
@@ -93,7 +101,7 @@ class Dispatcher:
         if tracer is not None and not tracer.enabled:
             tracer = None
 
-        def run() -> Plan:
+        def run() -> OptimizeOutcome:
             if top_down:
                 # The shared tier both answers sub-expressions and
                 # receives every stored plan, final full-query cell
@@ -105,6 +113,8 @@ class Dispatcher:
                     tracer=tracer,
                     global_cache=cache,
                     fastpath=self._fastpath,
+                    budget=request.budget,
+                    top_k=request.top_k,
                 )
             else:
                 optimizer = make_optimizer(
@@ -112,28 +122,36 @@ class Dispatcher:
                     registry=registry, tracer=tracer,
                     fastpath=self._fastpath,
                 )
+            if request.top_k is not None:
+                ranked = optimizer.optimize_topk(request.top_k)
+                return OptimizeOutcome(
+                    plan=ranked[0], ranked=tuple(ranked)
+                )
             plan = optimizer.optimize()
             assert isinstance(plan, Plan)
-            return plan
+            return OptimizeOutcome(
+                plan=plan, anytime=getattr(optimizer, "anytime", None)
+            )
 
         if tracer is None:
-            plan = run()
+            outcome = run()
         else:
             with self._trace_lock:
-                plan = run()
+                outcome = run()
         if not top_down:
             cache.store_plan(
-                request.query, request.query.graph.all_vertices, None, plan
+                request.query, request.query.graph.all_vertices,
+                None, outcome.plan,
             )
         if registry is not None:
             self._stats.merge_registry(registry)
-        return plan
+        return outcome
 
     def _run_batch(
         self, items: list[InFlight]
-    ) -> list[Plan | BaseException]:
+    ) -> list[OptimizeOutcome | BaseException]:
         """Optimize a batch back-to-back in one worker thread."""
-        results: list[Plan | BaseException] = []
+        results: list[OptimizeOutcome | BaseException] = []
         for item in items:
             try:
                 # A batch sibling may have just cached this exact query's

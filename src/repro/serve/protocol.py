@@ -15,7 +15,13 @@ plus name-keyed predicates)::
         "predicates": [["a", "b", 0.01]]}}
 
 Optional fields: ``algorithm`` (any registry name or alias, default
-``TBNmc``) and ``tenant`` (quota bucket, default ``"default"``).
+``TBNmc``), ``tenant`` (quota bucket, default ``"default"``),
+``budget_ms`` / ``budget_nodes`` (anytime limits — the response gains an
+``anytime`` gap-bound block, see ``docs/anytime.md``), and ``top_k``
+(rank the k cheapest distinct plans; the response gains a ``topk``
+block).  ``top_k`` is exhaustive and therefore mutually exclusive with
+the budget fields; both require a top-down algorithm.  Explicit fields
+override any ``?budget`` / ``^k`` suffix on ``algorithm``.
 Control operations use ``op``: ``{"op": "ping"}`` and ``{"op": "stats"}``.
 
 Responses carry ``status`` (``ok`` / ``error`` / ``rejected``), and on
@@ -30,7 +36,10 @@ stripped — those change the execution strategy, not the answer space)
 and the same :func:`~repro.memo.canonical_expression_key` over the full
 vertex set, i.e. the same relation names, statistics, and predicate
 signature regardless of declaration order or vertex numbering.  That
-tuple is the plan-cache and single-flight key.
+tuple — extended with the effective budget token and ``top_k`` depth,
+since a truncated or ranked search is *different work* whose answer must
+never stand in for the exact champion — is the plan-cache and
+single-flight key.
 """
 
 from __future__ import annotations
@@ -39,12 +48,19 @@ import json
 from dataclasses import dataclass
 from typing import Any, Hashable
 
+from repro.anytime import AnytimeReport, Budget
 from repro.catalog.parser import QuerySyntaxError, parse_query
 from repro.catalog.query import Query
 from repro.catalog.stats import Catalog
 from repro.memo import canonical_expression_key
 from repro.plans.physical import Plan
-from repro.registry import parse_name, resolve_alias
+from repro.registry import (
+    parse_name,
+    resolve_alias,
+    split_budget,
+    split_topk,
+    split_workers,
+)
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -52,6 +68,7 @@ __all__ = [
     "DEFAULT_TENANT",
     "RequestError",
     "OptimizeRequest",
+    "OptimizeOutcome",
     "build_request",
     "cache_key",
     "decode_line",
@@ -94,6 +111,13 @@ class OptimizeRequest:
     algorithm (bounding suffix kept, ``@N``/``%policy`` stripped) that
     namespaces the plan cache — configurations of one serial algorithm
     search the same space and may share plans, different spaces must not.
+
+    ``budget`` / ``top_k`` are the *effective* anytime and ranking
+    settings: the explicit ``budget_ms``/``budget_nodes``/``top_k``
+    payload fields when given, else whatever ``?budget``/``^k`` suffix
+    rode in on the algorithm name.  Dispatch passes them explicitly to
+    :func:`~repro.registry.make_optimizer` (explicit wins over suffix,
+    so the two routes agree).
     """
 
     request_id: object
@@ -102,6 +126,25 @@ class OptimizeRequest:
     resolved: str
     serial_base: str
     query: Query
+    budget: Budget | None = None
+    top_k: int | None = None
+
+
+@dataclass(frozen=True)
+class OptimizeOutcome:
+    """What one dispatched optimization produced.
+
+    ``plan`` is always present (rank-0 for ranked requests, best-so-far
+    for exhausted budgets).  ``ranked`` carries the full top-k list for
+    ``top_k`` requests; ``anytime`` the gap-bound report for budgeted
+    ones.  Futures in the request queue resolve with this, so the server
+    can assemble ``topk``/``anytime`` response blocks without re-running
+    anything.
+    """
+
+    plan: Plan
+    ranked: tuple[Plan, ...] | None = None
+    anytime: AnytimeReport | None = None
 
 
 def decode_line(line: bytes | str) -> dict[str, Any]:
@@ -191,6 +234,8 @@ def build_request(
     if not isinstance(tenant, str) or not tenant:
         raise RequestError("'tenant' must be a non-empty string")
 
+    budget, top_k = _limits_from(payload, resolved)
+
     text = payload.get("query")
     graph = payload.get("graph")
     if (text is None) == (graph is None):
@@ -212,14 +257,80 @@ def build_request(
         resolved=resolved,
         serial_base=serial_base,
         query=query,
+        budget=budget,
+        top_k=top_k,
     )
 
 
+def _limits_from(
+    payload: dict[str, Any], resolved: str
+) -> tuple[Budget | None, int | None]:
+    """The effective (budget, top_k) of a request.
+
+    Explicit payload fields win over the resolved name's suffixes; the
+    cross-field rules (exhaustive ranking vs truncated search, top-down
+    only, serial only) are enforced here so they fail as ``status:
+    error`` responses rather than worker-thread exceptions.
+    """
+    budget_ms = payload.get("budget_ms")
+    budget_nodes = payload.get("budget_nodes")
+    top_k = payload.get("top_k")
+    if budget_ms is not None:
+        if isinstance(budget_ms, bool) or not isinstance(budget_ms, (int, float)):
+            raise RequestError("'budget_ms' must be a number")
+        budget_ms = float(budget_ms)
+    if budget_nodes is not None:
+        if isinstance(budget_nodes, bool) or not isinstance(budget_nodes, int):
+            raise RequestError("'budget_nodes' must be an integer")
+    if top_k is not None:
+        if isinstance(top_k, bool) or not isinstance(top_k, int):
+            raise RequestError("'top_k' must be an integer")
+
+    budget: Budget | None = None
+    if budget_ms is not None or budget_nodes is not None:
+        try:
+            budget = Budget(max_nodes=budget_nodes, deadline_ms=budget_ms)
+        except ValueError as exc:
+            raise RequestError(str(exc)) from None
+    if budget is None:
+        _, budget = split_budget(resolved)
+    if top_k is None:
+        _, top_k = split_topk(resolved)
+    elif top_k < 1:
+        raise RequestError(f"'top_k' must be >= 1, got {top_k}")
+
+    if budget is not None or top_k is not None:
+        if not parse_name(resolved).top_down:
+            raise RequestError(
+                "budget and top_k require a top-down algorithm"
+            )
+    if top_k is not None:
+        if budget_ms is not None or budget_nodes is not None:
+            raise RequestError(
+                "top_k ranks plans exhaustively; drop budget_ms/budget_nodes"
+            )
+        if split_workers(resolved)[1] is not None:
+            raise RequestError(
+                "top_k ranking is serial-only; drop the @N worker suffix"
+            )
+    return budget, top_k
+
+
 def cache_key(request: OptimizeRequest) -> Hashable:
-    """Single-flight / plan-cache key: serial family x canonical query."""
+    """Single-flight / plan-cache key: serial family x limits x query.
+
+    The budget token and ``top_k`` depth are part of the key because a
+    truncated or ranked optimization is different work: an unbudgeted
+    request must never attach to a budgeted in-flight twin (it could be
+    handed a sub-optimal best-so-far plan), and a champion cell cannot
+    answer a ranked request.
+    """
     full = request.query.graph.all_vertices
+    budget = request.budget
     return (
         request.serial_base,
+        None if budget is None else budget.token(),
+        request.top_k,
         canonical_expression_key(request.query, full, None),
     )
 

@@ -22,8 +22,7 @@ import asyncio
 from dataclasses import dataclass, field
 from typing import Hashable
 
-from repro.plans.physical import Plan
-from repro.serve.protocol import OptimizeRequest
+from repro.serve.protocol import OptimizeOutcome, OptimizeRequest
 
 __all__ = ["InFlight", "RequestQueue"]
 
@@ -34,7 +33,7 @@ class InFlight:
 
     key: Hashable
     request: OptimizeRequest
-    futures: list["asyncio.Future[Plan]"] = field(default_factory=list)
+    futures: list["asyncio.Future[OptimizeOutcome]"] = field(default_factory=list)
 
     @property
     def waiters(self) -> int:
@@ -59,17 +58,18 @@ class RequestQueue:
 
     def submit(
         self, key: Hashable, request: OptimizeRequest
-    ) -> "tuple[asyncio.Future[Plan], bool]":
+    ) -> "tuple[asyncio.Future[OptimizeOutcome], bool]":
         """Enqueue work for ``key`` or attach to its in-flight twin.
 
         Returns ``(future, deduped)``: the future resolves with the
-        optimized plan (or the optimization's exception); ``deduped`` is
+        :class:`~repro.serve.protocol.OptimizeOutcome` (or the
+        optimization's exception); ``deduped`` is
         True when an identical computation was already in flight.
         """
         if self._closed:
             raise RuntimeError("queue is closed")
         loop = asyncio.get_running_loop()
-        future: asyncio.Future[Plan] = loop.create_future()
+        future: asyncio.Future[OptimizeOutcome] = loop.create_future()
         item = self._pending.get(key)
         if item is not None:
             item.futures.append(future)
@@ -124,12 +124,12 @@ class RequestQueue:
             self._ready.put_nowait(item)
         return batch
 
-    def resolve(self, item: InFlight, plan: Plan) -> None:
-        """Deliver ``plan`` to every waiter of ``item``."""
+    def resolve(self, item: InFlight, outcome: OptimizeOutcome) -> None:
+        """Deliver ``outcome`` to every waiter of ``item``."""
         self._pending.pop(item.key, None)
         for future in item.futures:
             if not future.done():
-                future.set_result(plan)
+                future.set_result(outcome)
         if not self._pending:
             self._idle.set()
 

@@ -22,12 +22,14 @@ from __future__ import annotations
 import asyncio
 from typing import Any
 
+from repro.anytime import AnytimeReport
 from repro.obs.tracer import Tracer
 from repro.serve.admission import AdmissionController
 from repro.serve.dispatch import Dispatcher
 from repro.serve.protocol import (
     DEFAULT_ALGORITHM,
     PROTOCOL_VERSION,
+    OptimizeOutcome,
     OptimizeRequest,
     RequestError,
     build_request,
@@ -236,17 +238,37 @@ class PlanServer:
 
     async def _answer(self, request: OptimizeRequest) -> dict[str, Any]:
         started = clock()
-        plan = self.dispatcher.lookup(request)
-        cached = plan is not None
+        outcome: OptimizeOutcome | None = None
+        if request.top_k is None:
+            # Ranked requests bypass the lookup: the family cache holds
+            # champions only, and rank 1..k-1 cannot be reconstructed
+            # from a champion cell.
+            plan = self.dispatcher.lookup(request)
+            if plan is not None:
+                anytime = None
+                if request.budget is not None:
+                    # A cached champion is the exact optimum, which
+                    # trivially satisfies any budget: certify gap zero
+                    # without spending a node.
+                    anytime = AnytimeReport(
+                        plan_cost=plan.cost,
+                        lower_bound=plan.cost,
+                        gap_bound=0.0,
+                        nodes_spent=0,
+                        completed=True,
+                        exhausted=False,
+                    )
+                outcome = OptimizeOutcome(plan=plan, anytime=anytime)
+        cached = outcome is not None
         deduped = False
-        if plan is None:
+        if outcome is None:
             future, deduped = self.queue.submit(cache_key(request), request)
             if deduped:
                 self.stats.record_dedup()
             else:
                 self.stats.record_miss()
             try:
-                plan = await future
+                outcome = await future
             except Exception as exc:
                 self.stats.record_error()
                 return self._error_response(
@@ -257,15 +279,24 @@ class PlanServer:
             self.stats.record_hit()
         elapsed = clock() - started
         self.stats.observe_latency(elapsed)
-        return {
+        response = {
             "id": request.request_id,
             "status": "ok",
             "algorithm": request.resolved,
             "cached": cached,
             "deduped": deduped,
             "elapsed_ms": elapsed * 1e3,
-            "plan": plan_payload(plan),
+            "plan": plan_payload(outcome.plan),
         }
+        if outcome.anytime is not None:
+            response["anytime"] = outcome.anytime.to_dict()
+        if outcome.ranked is not None:
+            response["topk"] = {
+                "k": request.top_k,
+                "returned": len(outcome.ranked),
+                "plans": [plan_payload(p) for p in outcome.ranked],
+            }
+        return response
 
     @staticmethod
     def _error_response(

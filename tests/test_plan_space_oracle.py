@@ -4,8 +4,14 @@ The integration tests check that all algorithms agree with *each other*;
 this module removes the remaining circularity by deriving the optimum
 from scratch — recursively constructing every physical plan tree of each
 space for tiny queries and taking the cheapest — and checking every
-optimizer against it.
+optimizer against it.  The same complete enumeration grounds the ranked
+tier: its k cheapest distinct plans must agree with both the top-down
+``optimize_topk`` and the bottom-up DP oracle of
+:func:`tests.helpers.exhaustive_topk`, giving three independent
+derivations of every ranked cost sequence.
 """
+
+import math
 
 import pytest
 from hypothesis import given, settings
@@ -18,6 +24,7 @@ from repro.registry import make_optimizer
 from repro.spaces import PlanSpace
 from repro.workloads import chain, clique, cycle, random_connected_graph, star
 from repro.workloads.weights import weighted_query
+from tests.helpers import assert_ranked, exhaustive_topk, make_query
 
 MODEL = CostModel()
 
@@ -49,6 +56,29 @@ def all_plans(query: Query, subset: int, space: PlanSpace):
 
 def oracle_minimum(query: Query, space: PlanSpace) -> float:
     return min(p.cost for p in all_plans(query, query.graph.all_vertices, space))
+
+
+def oracle_topk(query: Query, k: int, space: PlanSpace) -> list[float]:
+    """The k cheapest *distinct* plan costs, by complete enumeration.
+
+    No memoization, no per-cell truncation — the slowest and therefore
+    most trustworthy of the three ranked oracles.
+    """
+    costs: list[float] = []
+    seen: set[object] = set()
+    plans = sorted(
+        all_plans(query, query.graph.all_vertices, space),
+        key=lambda plan: plan.cost,
+    )
+    for plan in plans:
+        wire = plan.to_wire()
+        if wire in seen:
+            continue
+        seen.add(wire)
+        costs.append(plan.cost)
+        if len(costs) == k:
+            break
+    return costs
 
 
 SPACE_REPRESENTATIVES = {
@@ -95,6 +125,28 @@ class TestAgainstExplicitPlanSpace:
         left_deep = list(all_plans(query, 0b111, PlanSpace.left_deep_with_cp()))
         # left-deep logical trees: 3! = 6, times 9 method choices.
         assert len(left_deep) == 54
+
+    @pytest.mark.parametrize("topology", ["chain", "star", "cycle", "clique"])
+    def test_ranked_matches_complete_enumeration(self, topology):
+        """Three independent derivations of the top-k cost sequence agree:
+        complete enumeration, bottom-up k-best DP, lazy top-down ranking."""
+        query = make_query(topology, 4, 31)
+        representatives = {
+            PlanSpace.left_deep_cp_free(): "TLNmc",
+            PlanSpace.left_deep_with_cp(): "TLCnaive",
+            PlanSpace.bushy_cp_free(): "TBNmc",
+            PlanSpace.bushy_with_cp(): "TBCnaive",
+        }
+        for space, name in representatives.items():
+            complete = oracle_topk(query, 5, space)
+            dp = exhaustive_topk(query, 5, space=space)
+            ranked = make_optimizer(name, query).optimize_topk(5)
+            assert_ranked(ranked)
+            lazy = [plan.cost for plan in ranked]
+            assert len(complete) == len(dp) == len(lazy), space.describe()
+            for a, b, c in zip(complete, dp, lazy):
+                assert math.isclose(a, b, rel_tol=1e-9), space.describe()
+                assert math.isclose(a, c, rel_tol=1e-9), space.describe()
 
     def test_transformational_and_prefix_match_oracle(self):
         from repro.prefix import PrefixSearchOptimizer
