@@ -19,6 +19,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Hashable, Optional
 
+from repro.plans.physical import PlanWire
+
 __all__ = ["ColdEntry", "ColdTier"]
 
 
@@ -29,7 +31,7 @@ class ColdEntry:
 
     def __init__(
         self,
-        plan_wire: Optional[tuple],
+        plan_wire: Optional[PlanWire],
         lower_bound: Optional[float],
         weight: float,
     ) -> None:
@@ -64,7 +66,7 @@ class ColdTier:
     def put(
         self,
         key: Hashable,
-        plan_wire: Optional[tuple],
+        plan_wire: Optional[PlanWire],
         lower_bound: Optional[float],
         weight: float,
     ) -> None:

@@ -24,7 +24,11 @@ real clock is what matters.
 from __future__ import annotations
 
 import json
-from typing import IO, Iterable, Optional, Union
+from typing import IO, TYPE_CHECKING, Any, Iterable, Optional, Union
+
+if TYPE_CHECKING:
+    from repro.catalog.query import Query
+    from repro.obs.tracer import RecordingTracer
 
 __all__ = ["CostProfile", "logical_cost_proxy", "profile_key"]
 
@@ -32,7 +36,9 @@ __all__ = ["CostProfile", "logical_cost_proxy", "profile_key"]
 METRICS = ("work", "time")
 
 
-def logical_cost_proxy(query, subset: int, order: Optional[int] = None) -> float:
+def logical_cost_proxy(
+    query: "Query", subset: int, order: Optional[int] = None
+) -> float:
     """Logical-description proxy for the cost of recomputing a cell.
 
     ``size * (1 + internal edges) * (1 + size)``: one factor for the
@@ -80,7 +86,10 @@ class CostProfile:
     """
 
     def __init__(
-        self, weights: Optional[dict] = None, *, metric: str = "work"
+        self,
+        weights: Optional[dict[tuple[int, Optional[int]], float]] = None,
+        *,
+        metric: str = "work",
     ) -> None:
         if metric not in METRICS:
             raise ValueError(f"unknown profile metric {metric!r}; use one of {METRICS}")
@@ -105,7 +114,9 @@ class CostProfile:
     # -- building from traces ---------------------------------------------------
 
     @classmethod
-    def from_tracer(cls, tracer, *, metric: str = "work") -> "CostProfile":
+    def from_tracer(
+        cls, tracer: "RecordingTracer", *, metric: str = "work"
+    ) -> "CostProfile":
         """Build a profile from an in-process :class:`RecordingTracer`.
 
         ``work``: the span's exclusive counter deltas summed (already
@@ -125,7 +136,7 @@ class CostProfile:
 
     @classmethod
     def from_trace_records(
-        cls, records: Iterable[dict], *, metric: str = "work"
+        cls, records: Iterable[dict[str, Any]], *, metric: str = "work"
     ) -> "CostProfile":
         """Build a profile from JSONL span dicts (``repro --trace-out``)."""
         rows = list(records)
@@ -155,7 +166,7 @@ class CostProfile:
 
     # -- persistence ------------------------------------------------------------
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """JSON-serializable form (``repro profile-memo`` output)."""
         return {
             "version": 1,

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from collections import OrderedDict
-from typing import Callable, Hashable, Optional
+from typing import Any, Callable, Hashable
 
 __all__ = [
     "EvictionPolicy",
@@ -45,21 +45,22 @@ class EvictionPolicy:
 
     name: str = "?"
     uses_weights: bool = False
+    _weight_of: Callable[[Hashable], float]
 
     def bind(self, weight_of: Callable[[Hashable], float]) -> None:
         """Attach the table's per-key weight accessor."""
         self._weight_of = weight_of
 
-    def on_store(self, cells: OrderedDict, key: Hashable) -> None:
+    def on_store(self, cells: OrderedDict[Hashable, Any], key: Hashable) -> None:
         """A cell was inserted (already present in ``cells``)."""
 
-    def touch(self, cells: OrderedDict, key: Hashable) -> None:
+    def touch(self, cells: OrderedDict[Hashable, Any], key: Hashable) -> None:
         """A *plan* cell was served from the hot tier."""
 
     def on_remove(self, key: Hashable) -> None:
         """A cell left the hot tier (eviction or clear)."""
 
-    def choose_victim(self, cells: OrderedDict) -> Hashable:
+    def choose_victim(self, cells: OrderedDict[Hashable, Any]) -> Hashable:
         """Pick the cell to evict; ``cells`` is non-empty."""
         raise NotImplementedError
 
@@ -72,13 +73,13 @@ class LRUPolicy(EvictionPolicy):
 
     name = "lru"
 
-    def on_store(self, cells: OrderedDict, key: Hashable) -> None:
+    def on_store(self, cells: OrderedDict[Hashable, Any], key: Hashable) -> None:
         cells.move_to_end(key)
 
-    def touch(self, cells: OrderedDict, key: Hashable) -> None:
+    def touch(self, cells: OrderedDict[Hashable, Any], key: Hashable) -> None:
         cells.move_to_end(key)
 
-    def choose_victim(self, cells: OrderedDict) -> Hashable:
+    def choose_victim(self, cells: OrderedDict[Hashable, Any]) -> Hashable:
         return next(iter(cells))
 
 
@@ -93,12 +94,12 @@ class SmallestPolicy(EvictionPolicy):
     name = "smallest"
 
     @staticmethod
-    def _key_weight(key: Hashable) -> tuple:
+    def _key_weight(key: Hashable) -> tuple[int, int]:
         if isinstance(key, tuple) and key and isinstance(key[0], int):
             return (key[0].bit_count(), key[0])
         return (0, 0)
 
-    def choose_victim(self, cells: OrderedDict) -> Hashable:
+    def choose_victim(self, cells: OrderedDict[Hashable, Any]) -> Hashable:
         return min(cells, key=self._key_weight)
 
 
@@ -122,18 +123,18 @@ class CostPolicy(EvictionPolicy):
         self._scores: dict[Hashable, float] = {}
         self._inflation = 0.0
 
-    def on_store(self, cells: OrderedDict, key: Hashable) -> None:
+    def on_store(self, cells: OrderedDict[Hashable, Any], key: Hashable) -> None:
         self._scores[key] = self._inflation + self._weight_of(key)
 
-    def touch(self, cells: OrderedDict, key: Hashable) -> None:
+    def touch(self, cells: OrderedDict[Hashable, Any], key: Hashable) -> None:
         self._scores[key] = self._inflation + self._weight_of(key)
 
     def on_remove(self, key: Hashable) -> None:
         self._scores.pop(key, None)
 
-    def choose_victim(self, cells: OrderedDict) -> Hashable:
+    def choose_victim(self, cells: OrderedDict[Hashable, Any]) -> Hashable:
         scores = self._scores
-        victim = None
+        victim: Hashable = None
         lowest = math.inf
         for key in cells:  # insertion order => deterministic tie-break
             score = scores.get(key, 0.0)

@@ -44,7 +44,7 @@ class CacheStats:
     #: Summed recompute weight of cold/shared hits (work avoided).
     recompute_cost_saved: float = 0.0
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, int | float]:
         """Plain-dict view for the ``memo`` JSON block."""
         return {
             "hits": self.hits,

@@ -37,15 +37,30 @@ from repro.lint.engine import (
 )
 from repro.lint.engine import lint_paths as _lint_paths
 from repro.lint.engine import lint_source as _lint_source
-from repro.lint.reporters import render_json, render_rules, render_text
-from repro.lint.rules import ALL_RULES, LAYERS, rule_by_name
+from repro.lint.flow import FlowProgram, render_call_graph
+from repro.lint.reporters import (
+    render_json,
+    render_rules,
+    render_sarif,
+    render_text,
+)
+from repro.lint.rules import (
+    ALL_RULES,
+    FLOW_RULES,
+    LAYERS,
+    SYNTACTIC_RULES,
+    rule_by_name,
+)
 
 __all__ = [
     "ALL_RULES",
     "ERROR",
+    "FLOW_RULES",
     "LAYERS",
+    "SYNTACTIC_RULES",
     "WARNING",
     "Finding",
+    "FlowProgram",
     "LintReport",
     "ModuleSource",
     "Rule",
@@ -53,8 +68,10 @@ __all__ = [
     "lint_paths",
     "lint_source",
     "module_name_for",
+    "render_call_graph",
     "render_json",
     "render_rules",
+    "render_sarif",
     "render_text",
     "rule_by_name",
 ]
@@ -66,11 +83,12 @@ def lint_paths(
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
     rules: Sequence[Rule] | None = None,
+    program_paths: Sequence[str] | None = None,
 ) -> LintReport:
     """Lint files/directories with the built-in rules (or ``rules``)."""
     return _lint_paths(
         paths, rules if rules is not None else ALL_RULES,
-        select=select, ignore=ignore,
+        select=select, ignore=ignore, program_paths=program_paths,
     )
 
 

@@ -1,0 +1,407 @@
+"""Conservative call graph over the program index.
+
+One :class:`CallSite` per resolved (or deliberately widened) call
+expression, annotated with the lexical context the effect and lock
+analyses need:
+
+* ``guarded`` — the call sits under an instrumentation-active guard
+  (``if tracer.enabled:`` / ``if self._tracing:`` / ``if profiling:``),
+  so unguarded-tracing effects do not propagate across it;
+* ``locked`` — the call sits inside a ``with <lock>:`` block (consumed
+  by the lock-discipline analysis for held-lock reachability);
+* ``kind`` — ``"call"`` for direct invocation, ``"ref"`` for a function
+  reference passed as a value (``functools.partial(f, ...)``, a bound
+  method handed to an executor: the callee *may* run, so effects must
+  propagate), and ``"spawn"`` for references handed to a thread/task
+  spawn primitive (``threading.Thread(target=...)``,
+  ``asyncio.to_thread``, ``Executor.submit``) — the roots of the
+  concurrent-reachability analysis.
+
+Resolution strategy (in order): local names → import aliases → ``self``
+method dispatch through indexed bases → constructor-typed locals and
+``self.attr`` receivers → everything else widens to a single
+``<unknown>`` node with *no* effects.  Widening to no-effect (rather
+than all-effects) keeps the pass usable — the trade-off is spelled out
+in ``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.lint.flow.index import (
+    ClassInfo,
+    FunctionInfo,
+    ProgramIndex,
+    dotted_name,
+)
+
+__all__ = ["CallGraph", "CallSite", "UNKNOWN", "is_guard_test", "is_lock_expression"]
+
+#: The widened callee for calls the resolver cannot pin down.
+UNKNOWN = "<unknown>"
+
+#: Spawn primitives whose callable argument becomes a concurrent entry
+#: point (thread context; multiprocessing targets get a fresh address
+#: space and are deliberately not treated as shared-state threats).
+_THREAD_SPAWNERS = frozenset(
+    {"to_thread", "run_in_executor", "submit", "Thread", "Timer", "call_soon_threadsafe"}
+)
+
+
+def is_guard_test(test: ast.expr) -> bool:
+    """True for conditions gating on tracing/profiling being active.
+
+    Mirrors the syntactic ``hotpath-purity`` guard detection so the
+    interprocedural upgrade agrees with the per-file rule about what
+    counts as a guard.
+    """
+    for node in ast.walk(test):
+        if isinstance(node, ast.Attribute) and node.attr in {
+            "enabled",
+            "_tracing",
+            "_profiling",
+        }:
+            return True
+        if isinstance(node, ast.Name) and node.id in {
+            "tracing",
+            "measure",
+            "profiling",
+        }:
+            return True
+    return False
+
+
+def is_lock_expression(item: ast.expr) -> bool:
+    """True when a ``with`` item looks like acquiring a lock.
+
+    Covers ``with self._lock:``, ``with self._caches_lock:``, and
+    multiprocessing's ``with self._value.get_lock():`` — any name or
+    attribute in the expression containing ``lock``.
+    """
+    for node in ast.walk(item):
+        if isinstance(node, ast.Attribute) and "lock" in node.attr.lower():
+            return True
+        if isinstance(node, ast.Name) and "lock" in node.id.lower():
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call (or callable reference) from ``caller`` to ``callee``."""
+
+    caller: str
+    callee: str  #: function qname, or :data:`UNKNOWN`
+    line: int
+    col: int
+    kind: str  #: "call" | "ref" | "spawn"
+    guarded: bool
+    locked: bool
+    lock_name: Optional[str] = None  #: unparsed lock expression, if locked
+    display: str = ""  #: source-ish text of the callee for diagnostics
+
+
+@dataclass
+class CallGraph:
+    """Edges grouped by caller, plus the concurrent entry-point set."""
+
+    index: ProgramIndex
+    edges: dict[str, list[CallSite]] = field(default_factory=dict)
+    #: Functions handed to thread-spawn primitives (concurrency roots).
+    spawned: set[str] = field(default_factory=set)
+
+    def callees(self, caller: str) -> list[CallSite]:
+        return self.edges.get(caller, [])
+
+    def iter_edges(self) -> Iterator[CallSite]:
+        for caller in sorted(self.edges):
+            yield from self.edges[caller]
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def build(cls, index: ProgramIndex) -> "CallGraph":
+        graph = cls(index=index)
+        for function in index.iter_functions():
+            _FunctionResolver(index, graph, function).run()
+        return graph
+
+
+class _FunctionResolver:
+    """Resolves every call in one function body into call-graph edges."""
+
+    def __init__(
+        self, index: ProgramIndex, graph: CallGraph, function: FunctionInfo
+    ) -> None:
+        self.index = index
+        self.graph = graph
+        self.function = function
+        self.module = index.modules[function.module]
+        self.cls: Optional[ClassInfo] = (
+            index.classes.get(function.cls) if function.cls else None
+        )
+        #: Locally-inferred variable types: name → class qname.
+        self.local_types: dict[str, str] = {}
+        self.edges = graph.edges.setdefault(function.qname, [])
+
+    def run(self) -> None:
+        self._infer_parameter_types()
+        for statement in self.function.node.body:
+            self._walk(statement, guarded=False, locked=False, lock_name=None)
+
+    def _infer_parameter_types(self) -> None:
+        args = self.function.node.args
+        for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+            if arg.annotation is None:
+                continue
+            annotation = arg.annotation
+            if isinstance(annotation, ast.Constant) and isinstance(
+                annotation.value, str
+            ):
+                name: Optional[str] = annotation.value.strip().strip("'\"")
+            else:
+                name = dotted_name(annotation)
+            if name is None:
+                continue
+            resolved = self.index.resolve(self.function.module, name)
+            if resolved is not None and resolved in self.index.classes:
+                self.local_types[arg.arg] = resolved
+
+    # -- recursive descent --------------------------------------------------------
+
+    def _walk(
+        self,
+        node: ast.AST,
+        *,
+        guarded: bool,
+        locked: bool,
+        lock_name: Optional[str],
+    ) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested definitions get their own resolver pass
+        if isinstance(node, ast.If):
+            branch_guarded = guarded or is_guard_test(node.test)
+            self._scan_expression(node.test, guarded, locked, lock_name)
+            for child in node.body:
+                self._walk(
+                    child, guarded=branch_guarded, locked=locked, lock_name=lock_name
+                )
+            for child in node.orelse:
+                self._walk(child, guarded=guarded, locked=locked, lock_name=lock_name)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            body_locked = locked
+            body_lock = lock_name
+            for item in node.items:
+                if is_lock_expression(item.context_expr):
+                    body_locked = True
+                    body_lock = ast.unparse(item.context_expr)
+                else:
+                    # Non-lock context managers still contain calls.
+                    self._scan_expression(
+                        item.context_expr, guarded, locked, lock_name
+                    )
+            for child in node.body:
+                self._walk(
+                    child, guarded=guarded, locked=body_locked, lock_name=body_lock
+                )
+            return
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            constructed = self._constructed_class(node.value)
+            if constructed is not None:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.local_types[target.id] = constructed
+        if isinstance(node, ast.expr):
+            self._scan_expression(node, guarded, locked, lock_name)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._scan_expression(child, guarded, locked, lock_name)
+            else:
+                self._walk(child, guarded=guarded, locked=locked, lock_name=lock_name)
+
+    def _scan_expression(
+        self,
+        node: ast.expr,
+        guarded: bool,
+        locked: bool,
+        lock_name: Optional[str],
+    ) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                self._resolve_call(sub, guarded, locked, lock_name)
+
+    # -- call resolution ----------------------------------------------------------
+
+    def _constructed_class(self, call: ast.Call) -> Optional[str]:
+        name = dotted_name(call.func)
+        if name is None:
+            return None
+        resolved = self.index.resolve(self.function.module, name)
+        if resolved is not None and resolved in self.index.classes:
+            return resolved
+        target = self.index.lookup_function(resolved)
+        if target is not None:
+            returned = target.returns_class()
+            if returned is not None:
+                resolved_ret = self.index.resolve(target.module, returned)
+                if resolved_ret in self.index.classes:
+                    return resolved_ret
+        return None
+
+    def _resolve_call(
+        self,
+        call: ast.Call,
+        guarded: bool,
+        locked: bool,
+        lock_name: Optional[str],
+    ) -> None:
+        display = ast.unparse(call.func)
+        callee = self._resolve_callee(call.func)
+        spawner = self._spawner_name(call)
+        self._add_edge(call, callee, "call", guarded, locked, lock_name, display)
+        # Callable references in the arguments: conservatively assume
+        # the receiver may invoke them (``ref``), or — for spawn
+        # primitives — *will* invoke them concurrently (``spawn``).
+        for value in list(call.args) + [kw.value for kw in call.keywords]:
+            ref = self._resolve_reference(value)
+            if ref is None:
+                continue
+            kind = "spawn" if spawner else "ref"
+            self._add_edge(
+                call, ref, kind, guarded, locked, lock_name, ast.unparse(value)
+            )
+            if kind == "spawn":
+                self.graph.spawned.add(ref)
+
+    def _spawner_name(self, call: ast.Call) -> Optional[str]:
+        name = dotted_name(call.func)
+        if name is None:
+            return None
+        tail = name.split(".")[-1]
+        return tail if tail in _THREAD_SPAWNERS else None
+
+    def _resolve_reference(self, value: ast.expr) -> Optional[str]:
+        """A function/method qname when ``value`` references one (no call)."""
+        if isinstance(value, ast.Call):
+            # functools.partial(f, ...) forwards to f when later invoked.
+            name = dotted_name(value.func)
+            if name is not None and name.split(".")[-1] == "partial" and value.args:
+                return self._resolve_reference(value.args[0])
+            return None
+        if not isinstance(value, (ast.Name, ast.Attribute)):
+            return None
+        resolved = self._resolve_callee(value)
+        return None if resolved == UNKNOWN else resolved
+
+    def _resolve_callee(self, func: ast.expr) -> str:
+        # self.method() → dispatch through the owning class and bases.
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+            and self.cls is not None
+        ):
+            method = self.index.find_method(self.cls, func.attr)
+            if method is not None:
+                return method.qname
+            return UNKNOWN
+        # self.attr.method() → through the attribute's inferred type.
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Attribute)
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id == "self"
+            and self.cls is not None
+        ):
+            attr_type = self.cls.attr_types.get(func.value.attr)
+            target_cls = self.index.lookup_class(attr_type)
+            if target_cls is not None:
+                method = self.index.find_method(target_cls, func.attr)
+                if method is not None:
+                    return method.qname
+            return UNKNOWN
+        # var.method() → through the constructor-typed local.
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self.local_types
+        ):
+            target_cls = self.index.lookup_class(self.local_types[func.value.id])
+            if target_cls is not None:
+                method = self.index.find_method(target_cls, func.attr)
+                if method is not None:
+                    return method.qname
+            return UNKNOWN
+        # super().method() → the next indexed base's method.
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Call)
+            and isinstance(func.value.func, ast.Name)
+            and func.value.func.id == "super"
+            and self.cls is not None
+        ):
+            owner = self.index.modules.get(self.cls.module)
+            for base in self.cls.bases:
+                resolved = (
+                    self.index._resolve_dotted(owner, base)
+                    if owner is not None
+                    else None
+                )
+                base_cls = self.index.lookup_class(resolved)
+                if base_cls is not None:
+                    method = self.index.find_method(base_cls, func.attr)
+                    if method is not None:
+                        return method.qname
+            return UNKNOWN
+        # Plain / dotted names through imports and local definitions.
+        name = dotted_name(func)
+        if name is None:
+            return UNKNOWN
+        resolved = self.index.resolve(self.function.module, name)
+        if resolved is None:
+            return name if self._is_external(name) else UNKNOWN
+        target = self.index.lookup_function(resolved)
+        if target is not None:
+            return target.qname
+        cls = self.index.lookup_class(resolved)
+        if cls is not None:
+            init = self.index.find_method(cls, "__init__")
+            return init.qname if init is not None else cls.qname
+        # Resolved through imports to something outside the program
+        # (stdlib, third-party): keep the absolute name — the effect
+        # layer pattern-matches on it (os.getenv, random.shuffle, ...).
+        return resolved
+
+    @staticmethod
+    def _is_external(name: str) -> bool:
+        """Dotted names rooted at a known-external module stay as-is."""
+        return "." in name
+
+    def _add_edge(
+        self,
+        node: ast.AST,
+        callee: str,
+        kind: str,
+        guarded: bool,
+        locked: bool,
+        lock_name: Optional[str],
+        display: str,
+    ) -> None:
+        self.edges.append(
+            CallSite(
+                caller=self.function.qname,
+                callee=callee,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                kind=kind,
+                guarded=guarded,
+                locked=locked,
+                lock_name=lock_name if locked else None,
+                display=display,
+            )
+        )

@@ -1,0 +1,353 @@
+"""Interprocedural effect inference over the call graph.
+
+Each function gets a set of :class:`Effect` atoms.  Direct effects are
+extracted syntactically from the body (IO calls, ``os.environ`` reads,
+module-level ``random.*`` use, tracer/metrics emission, set allocation,
+writes to module globals); transitive effects are
+the least fixpoint of propagating callee effects across ``call``,
+``ref``, and ``spawn`` edges.
+
+Guarded call sites (``if tracer.enabled: ...``) do not propagate the
+``TRACE`` effect: the syntactic hot-path rule already treats guarded
+emission as free, and the interprocedural upgrade must agree with it.
+All other effects propagate through guards — an env read is an env read
+whether or not tracing is on.
+
+The ``<unknown>`` callee contributes *no* effects (widening to bottom).
+That is the pass's central, documented imprecision: a dynamically
+dispatched call could do anything, but assuming it does everything
+would drown the report in false positives.  See
+``docs/static-analysis.md`` for the trade-off discussion.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.lint.flow.callgraph import UNKNOWN, CallGraph
+from repro.lint.flow.index import FunctionInfo, ProgramIndex, dotted_name
+
+__all__ = ["Effect", "EffectAnalysis", "Witness"]
+
+
+class Effect(enum.Enum):
+    """Atoms of the effect lattice (a powerset lattice over these)."""
+
+    IO = "performs-io"
+    ENV = "reads-env"
+    RANDOM = "unseeded-randomness"
+    TRACE = "emits-trace"
+    ALLOC = "allocates-mutable"
+    MUTATES_SHARED = "mutates-shared-state"
+
+
+#: ``random.<fn>`` module-level calls that consume the process-global,
+#: unseeded RNG.  Mirrors the syntactic ``unseeded-random`` rule.
+_GLOBAL_RANDOM_FNS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "gauss",
+        "normalvariate",
+        "betavariate",
+        "expovariate",
+        "seed",
+        "getrandbits",
+    }
+)
+
+#: Callee name tails that perform input/output or syscalls.
+_IO_NAMES = frozenset(
+    {
+        "open",
+        "print",
+        "write",
+        "read_text",
+        "write_text",
+        "read_bytes",
+        "write_bytes",
+        "mkdir",
+        "unlink",
+        "urandom",
+        "getpid",
+    }
+)
+
+#: Dotted prefixes that mean IO when they lead the callee name.
+_IO_PREFIXES = ("sys.stdout", "sys.stderr", "subprocess.", "socket.", "shutil.")
+
+#: Tracer / profiler / metrics emission methods (attribute tails).
+_TRACE_METHODS = frozenset(
+    {
+        "begin",
+        "end",
+        "event",
+        "memo_hit",
+        "memo_bound_hit",
+        "predicted_prune",
+        "enter",
+        "exit",
+        "count",
+        "observe",
+        "emit",
+        "record",
+    }
+)
+
+#: Receiver names whose method calls count as trace/metrics emission.
+_TRACE_RECEIVERS = frozenset(
+    {"tracer", "_tracer", "profiler", "_profiler", "metrics", "_metrics"}
+)
+
+
+@dataclass(frozen=True)
+class Witness:
+    """Why a function has an effect: the direct site, or the call edge."""
+
+    effect: Effect
+    qname: str  #: function the direct effect lives in
+    line: int
+    detail: str  #: human-readable description of the site
+    #: Call chain from the queried function down to ``qname`` (exclusive
+    #: of both endpoints); empty for direct effects.
+    path: tuple[str, ...] = ()
+
+
+@dataclass
+class EffectAnalysis:
+    """Direct + transitive effect sets for every indexed function."""
+
+    index: ProgramIndex
+    graph: CallGraph
+    direct: dict[str, set[Effect]] = field(default_factory=dict)
+    transitive: dict[str, set[Effect]] = field(default_factory=dict)
+    #: Direct witnesses per function (effect → first site found).
+    _witnesses: dict[str, dict[Effect, Witness]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, index: ProgramIndex, graph: CallGraph) -> "EffectAnalysis":
+        analysis = cls(index=index, graph=graph)
+        for function in index.iter_functions():
+            analysis._extract_direct(function)
+        analysis._propagate()
+        return analysis
+
+    def effects_of(self, qname: str) -> set[Effect]:
+        return self.transitive.get(qname, set())
+
+    def direct_effects_of(self, qname: str) -> set[Effect]:
+        return self.direct.get(qname, set())
+
+    # -- witness reconstruction ---------------------------------------------------
+
+    def witness(self, qname: str, effect: Effect) -> Optional[Witness]:
+        """BFS the call graph for the shortest path to a direct site."""
+        if effect in self.direct.get(qname, set()):
+            return self._witnesses[qname][effect]
+        seen = {qname}
+        frontier: list[tuple[str, tuple[str, ...]]] = [(qname, ())]
+        while frontier:
+            next_frontier: list[tuple[str, tuple[str, ...]]] = []
+            for current, path in frontier:
+                for site in self.graph.callees(current):
+                    callee = site.callee
+                    if callee in seen or callee == UNKNOWN:
+                        continue
+                    if effect is Effect.TRACE and site.guarded:
+                        continue
+                    seen.add(callee)
+                    if effect in self.direct.get(callee, set()):
+                        base = self._witnesses[callee][effect]
+                        return Witness(
+                            effect=effect,
+                            qname=callee,
+                            line=base.line,
+                            detail=base.detail,
+                            path=path + (callee,),
+                        )
+                    if effect in self.transitive.get(callee, set()):
+                        next_frontier.append((callee, path + (callee,)))
+            frontier = next_frontier
+        return None
+
+    # -- direct extraction --------------------------------------------------------
+
+    def _extract_direct(self, function: FunctionInfo) -> None:
+        effects: set[Effect] = set()
+        witnesses: dict[Effect, Witness] = {}
+        module = self.index.modules[function.module]
+
+        def note(effect: Effect, node: ast.AST, detail: str) -> None:
+            effects.add(effect)
+            if effect not in witnesses:
+                witnesses[effect] = Witness(
+                    effect=effect,
+                    qname=function.qname,
+                    line=getattr(node, "lineno", 1),
+                    detail=detail,
+                )
+
+        guarded_lines = _guarded_line_spans(function.node)
+
+        for node in ast.walk(function.node):
+            line = getattr(node, "lineno", 0)
+            in_guard = any(lo <= line <= hi for lo, hi in guarded_lines)
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func) or ""
+                tail = name.split(".")[-1] if name else ""
+                resolved = self.index.resolve(function.module, name) or name
+                # -- IO --------------------------------------------------------
+                if tail in _IO_NAMES or any(
+                    resolved.startswith(p) for p in _IO_PREFIXES
+                ):
+                    note(Effect.IO, node, f"calls {name}()")
+                # -- env -------------------------------------------------------
+                if resolved in {"os.getenv", "os.environ.get", "os.putenv"}:
+                    note(Effect.ENV, node, f"calls {resolved}()")
+                # -- global RNG ------------------------------------------------
+                if (
+                    resolved.startswith("random.")
+                    and resolved.split(".")[-1] in _GLOBAL_RANDOM_FNS
+                ):
+                    note(
+                        Effect.RANDOM,
+                        node,
+                        f"calls module-level {resolved}() (process-global RNG)",
+                    )
+                # -- trace / metrics emission ----------------------------------
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _TRACE_METHODS
+                    and not in_guard
+                ):
+                    receiver = node.func.value
+                    rname = ""
+                    if isinstance(receiver, ast.Name):
+                        rname = receiver.id
+                    elif isinstance(receiver, ast.Attribute):
+                        rname = receiver.attr
+                    if rname in _TRACE_RECEIVERS:
+                        note(
+                            Effect.TRACE,
+                            node,
+                            f"emits {rname}.{node.func.attr}() outside a guard",
+                        )
+                # -- set allocation (bitset-discipline breach when it
+                # -- reaches the Section 3.1 hot paths) ------------------------
+                if isinstance(node.func, ast.Name) and node.func.id in {
+                    "set",
+                    "frozenset",
+                }:
+                    note(Effect.ALLOC, node, f"allocates {node.func.id}()")
+            elif isinstance(node, ast.SetComp):
+                note(Effect.ALLOC, node, "allocates via set comprehension")
+            elif isinstance(node, ast.Set):
+                note(Effect.ALLOC, node, "allocates a set literal")
+            elif isinstance(node, ast.Subscript) and isinstance(
+                node.value, ast.Attribute
+            ):
+                # os.environ["X"] reads/writes
+                if dotted_name(node.value) == "os.environ":
+                    note(Effect.ENV, node, "subscripts os.environ")
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    base = target
+                    while isinstance(base, ast.Subscript):
+                        base = base.value
+                    if (
+                        isinstance(base, ast.Name)
+                        and base.id in module.mutable_globals
+                    ):
+                        note(
+                            Effect.MUTATES_SHARED,
+                            node,
+                            f"writes module global {base.id!r}",
+                        )
+            elif isinstance(node, ast.Global):
+                for name in node.names:
+                    if name in module.globals_:
+                        note(
+                            Effect.MUTATES_SHARED,
+                            node,
+                            f"declares global {name!r} for writing",
+                        )
+        # Mutating method calls on module globals (``_PROBE.append(...)``).
+        for node in ast.walk(function.node):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in module.mutable_globals
+                and node.func.attr
+                in {"append", "add", "update", "pop", "clear", "extend", "remove"}
+            ):
+                note(
+                    Effect.MUTATES_SHARED,
+                    node,
+                    f"mutates module global {node.func.value.id!r} via "
+                    f".{node.func.attr}()",
+                )
+        if effects:
+            self.direct[function.qname] = effects
+            self._witnesses[function.qname] = witnesses
+
+    # -- fixpoint -----------------------------------------------------------------
+
+    def _propagate(self) -> None:
+        for qname in self.graph.edges:
+            self.transitive.setdefault(qname, set())
+        for qname, effects in self.direct.items():
+            self.transitive.setdefault(qname, set()).update(effects)
+        # Reverse edges: callee → callers, remembering guardedness.
+        callers: dict[str, list[tuple[str, bool]]] = {}
+        for site in self.graph.iter_edges():
+            if site.callee == UNKNOWN:
+                continue
+            callers.setdefault(site.callee, []).append((site.caller, site.guarded))
+        worklist = list(self.transitive)
+        while worklist:
+            qname = worklist.pop()
+            effects = self.transitive.get(qname, set())
+            if not effects:
+                continue
+            for caller, guarded in callers.get(qname, []):
+                inherited = set(effects)
+                if guarded:
+                    inherited.discard(Effect.TRACE)
+                current = self.transitive.setdefault(caller, set())
+                if not inherited <= current:
+                    current.update(inherited)
+                    worklist.append(caller)
+
+
+def _guarded_line_spans(
+    function: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> list[tuple[int, int]]:
+    """Line ranges of ``if <instrumentation-guard>:`` bodies."""
+    from repro.lint.flow.callgraph import is_guard_test
+
+    spans: list[tuple[int, int]] = []
+    for node in ast.walk(function):
+        if isinstance(node, ast.If) and is_guard_test(node.test) and node.body:
+            end = max(
+                (getattr(n, "end_lineno", None) or n.lineno) for n in node.body
+            )
+            spans.append((node.body[0].lineno, end))
+    return spans
+
+
+def iter_effect_names() -> Iterator[str]:
+    for effect in Effect:
+        yield effect.value

@@ -1,0 +1,258 @@
+"""Determinism taint: seed provenance into RNG construction.
+
+Every RNG construction site in the program (``random.Random(...)``,
+``numpy.random.default_rng(...)``, ``RandomState(...)``) is classified
+by where its seed argument *came from*:
+
+* ``SEEDED`` — a literal, a module-level constant bound to a literal
+  (``DEFAULT_SEED``), a parameter named ``seed``/``*_seed``/``rng``
+  (the caller owns provenance — the flag moves to *their* construction
+  site), or arithmetic composed purely of seeded operands
+  (``seed + worker_index * 7919``);
+* ``NONDET`` — sourced from wall-clock/entropy (``time.*``,
+  ``os.urandom``, ``os.getpid``, ``id()``, ``hash()``, ``uuid*``,
+  ``datetime.now``, ``secrets.*``), or simply absent;
+* ``UNKNOWN`` — anything else (attribute loads, unannotated calls).
+  Unknown is *clean* by design: flagging it would punish every
+  pass-through helper.  The imprecision is documented.
+
+``NONDET`` (including the missing-argument case) raises
+``flow-unseeded-rng``.  Separately, a function that *accepts* a
+``seed`` parameter but never reads it raises ``flow-unused-seed`` —
+the call-site promise of determinism is silently dropped.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.lint.flow.index import FunctionInfo, ModuleInfo, ProgramIndex, dotted_name
+
+__all__ = ["RngSite", "Provenance", "TaintAnalysis", "UnusedSeed"]
+
+#: Modules exempt from RNG-construction checks (they *are* the seeding
+#: policy; mirrors the syntactic ``unseeded-random`` exemption).
+_EXEMPT_MODULES = frozenset({"repro.workloads.seeding"})
+
+#: Callee name tails that construct an RNG.
+_RNG_CONSTRUCTOR_TAILS = frozenset({"Random", "default_rng", "RandomState"})
+
+#: Call names (resolved, dotted) whose results are nondeterministic.
+_NONDET_CALLS = (
+    "time.",
+    "os.urandom",
+    "os.getpid",
+    "uuid.",
+    "secrets.",
+    "datetime.now",
+    "datetime.datetime.now",
+    "perf_counter",
+    "monotonic",
+)
+
+_NONDET_BARE = frozenset({"id", "hash", "perf_counter", "monotonic", "time_ns"})
+
+_SEED_PARAM_NAMES = ("seed", "rng", "base_seed", "worker_seed")
+
+
+class Provenance(enum.Enum):
+    SEEDED = "seeded"
+    UNKNOWN = "unknown"
+    NONDET = "nondeterministic"
+
+
+@dataclass(frozen=True)
+class RngSite:
+    """One RNG construction, with its classified seed provenance."""
+
+    function: str  #: enclosing function qname ("<module>" at top level)
+    module: str
+    line: int
+    col: int
+    constructor: str  #: source text of the callee
+    provenance: Provenance
+    detail: str
+
+
+@dataclass(frozen=True)
+class UnusedSeed:
+    function: str
+    module: str
+    line: int
+    col: int
+    param: str
+
+
+@dataclass
+class TaintAnalysis:
+    index: ProgramIndex
+    sites: list[RngSite] = field(default_factory=list)
+    unused_seeds: list[UnusedSeed] = field(default_factory=list)
+
+    @classmethod
+    def build(cls, index: ProgramIndex) -> "TaintAnalysis":
+        analysis = cls(index=index)
+        for function in index.iter_functions():
+            if function.module in _EXEMPT_MODULES:
+                continue
+            analysis._scan_function(function)
+        return analysis
+
+    # -- per-function scan --------------------------------------------------------
+
+    def _scan_function(self, function: FunctionInfo) -> None:
+        module = self.index.modules[function.module]
+        seeded_params = _seed_params(function.node)
+        seeded_locals = set(seeded_params)
+        # Locals assigned from seeded expressions extend the seeded set.
+        for node in ast.walk(function.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    provenance, _ = self._classify(
+                        node.value, module, seeded_locals
+                    )
+                    if provenance is Provenance.SEEDED:
+                        seeded_locals.add(target.id)
+        for node in ast.walk(function.node):
+            if isinstance(node, ast.Call):
+                self._check_construction(node, function, module, seeded_locals)
+        self._check_unused_seed(function, seeded_params)
+
+    def _check_construction(
+        self,
+        call: ast.Call,
+        function: FunctionInfo,
+        module: ModuleInfo,
+        seeded_locals: set[str],
+    ) -> None:
+        name = dotted_name(call.func)
+        if name is None:
+            return
+        tail = name.split(".")[-1]
+        if tail not in _RNG_CONSTRUCTOR_TAILS:
+            return
+        seed_arg = _seed_argument(call)
+        if seed_arg is None:
+            provenance = Provenance.NONDET
+            detail = "constructed with no seed argument"
+        else:
+            provenance, detail = self._classify(seed_arg, module, seeded_locals)
+        self.sites.append(
+            RngSite(
+                function=function.qname,
+                module=function.module,
+                line=call.lineno,
+                col=call.col_offset,
+                constructor=name,
+                provenance=provenance,
+                detail=detail,
+            )
+        )
+
+    # -- provenance classification ------------------------------------------------
+
+    def _classify(
+        self,
+        node: ast.expr,
+        module: ModuleInfo,
+        seeded_locals: set[str],
+    ) -> tuple[Provenance, str]:
+        if isinstance(node, ast.Constant):
+            if node.value is None:
+                return Provenance.NONDET, "seed is the literal None"
+            return Provenance.SEEDED, f"literal seed {node.value!r}"
+        if isinstance(node, ast.Name):
+            if node.id in seeded_locals:
+                return Provenance.SEEDED, f"seed parameter/local {node.id!r}"
+            if self._is_literal_constant(module, node.id):
+                return Provenance.SEEDED, f"module constant {node.id!r}"
+            resolved = self.index.resolve(module.name, node.id)
+            if resolved is not None:
+                owner, _, const = resolved.rpartition(".")
+                owner_mod = self.index.modules.get(owner)
+                if owner_mod is not None and self._is_literal_constant(
+                    owner_mod, const
+                ):
+                    return Provenance.SEEDED, f"imported constant {resolved!r}"
+            return Provenance.UNKNOWN, f"untracked name {node.id!r}"
+        if isinstance(node, ast.BinOp):
+            left, ldetail = self._classify(node.left, module, seeded_locals)
+            right, rdetail = self._classify(node.right, module, seeded_locals)
+            if Provenance.NONDET in (left, right):
+                detail = ldetail if left is Provenance.NONDET else rdetail
+                return Provenance.NONDET, f"arithmetic over nondet source: {detail}"
+            if left is Provenance.SEEDED and right is Provenance.SEEDED:
+                return Provenance.SEEDED, "arithmetic over seeded operands"
+            return Provenance.UNKNOWN, "arithmetic with untracked operand"
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func) or ""
+            resolved = self.index.resolve(module.name, name) or name
+            bare = resolved.split(".")[-1]
+            if (
+                any(resolved.startswith(prefix) for prefix in _NONDET_CALLS)
+                or bare in _NONDET_BARE
+            ):
+                return Provenance.NONDET, f"nondeterministic source {resolved}()"
+            return Provenance.UNKNOWN, f"untracked call {name or '<expr>'}()"
+        if isinstance(node, ast.Attribute):
+            full = dotted_name(node) or node.attr
+            if node.attr in _SEED_PARAM_NAMES or node.attr.endswith("_seed"):
+                return Provenance.SEEDED, f"seed-bearing attribute {full!r}"
+            return Provenance.UNKNOWN, f"untracked attribute {full!r}"
+        return Provenance.UNKNOWN, f"untracked expression {type(node).__name__}"
+
+    @staticmethod
+    def _is_literal_constant(module: ModuleInfo, name: str) -> bool:
+        value = module.globals_.get(name)
+        return isinstance(value, ast.Constant) and isinstance(
+            value.value, (int, float, str)
+        )
+
+    # -- unused seed parameters ---------------------------------------------------
+
+    def _check_unused_seed(
+        self, function: FunctionInfo, seeded_params: set[str]
+    ) -> None:
+        explicit = {
+            p
+            for p in seeded_params
+            if p == "seed" or p.endswith("_seed")
+        }
+        if not explicit:
+            return
+        used: set[str] = set()
+        for node in ast.walk(function.node):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                used.add(node.id)
+        for param in sorted(explicit - used):
+            self.unused_seeds.append(
+                UnusedSeed(
+                    function=function.qname,
+                    module=function.module,
+                    line=function.node.lineno,
+                    col=function.node.col_offset,
+                    param=param,
+                )
+            )
+
+
+def _seed_params(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    names: set[str] = set()
+    args = node.args
+    for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+        if arg.arg in _SEED_PARAM_NAMES or arg.arg.endswith("_seed"):
+            names.add(arg.arg)
+    return names
+
+
+def _seed_argument(call: ast.Call) -> Optional[ast.expr]:
+    for keyword in call.keywords:
+        if keyword.arg in {"seed", "x"}:
+            return keyword.value
+    if call.args:
+        return call.args[0]
+    return None

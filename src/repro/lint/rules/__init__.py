@@ -9,6 +9,7 @@ catalog all read this tuple.
 from __future__ import annotations
 
 from repro.lint.engine import Rule
+from repro.lint.flow.rules import FLOW_RULES
 from repro.lint.rules.bitset import (
     BinPopcountRule,
     BitsetMaterializationRule,
@@ -24,11 +25,11 @@ from repro.lint.rules.hotpath import HotPathPurityRule
 from repro.lint.rules.layering import LAYERS, ImportLayeringRule
 from repro.lint.rules.metrics import InstrumentNameRule, MetricsFieldRule
 
-__all__ = ["ALL_RULES", "LAYERS", "rule_by_name"]
+__all__ = ["ALL_RULES", "FLOW_RULES", "LAYERS", "SYNTACTIC_RULES", "rule_by_name"]
 
-#: Every built-in rule, in catalog order (determinism, bitset, hot path,
-#: fast path, metrics, layering).
-ALL_RULES: tuple[Rule, ...] = (
+#: The per-file AST rules, in catalog order (determinism, bitset, hot
+#: path, fast path, metrics, layering).
+SYNTACTIC_RULES: tuple[Rule, ...] = (
     UnseededRandomRule(),
     SetIterationOrderRule(),
     IdentityOrderingRule(),
@@ -41,6 +42,10 @@ ALL_RULES: tuple[Rule, ...] = (
     InstrumentNameRule(),
     ImportLayeringRule(),
 )
+
+#: Every built-in rule: syntactic first, then the whole-program flow
+#: rules (``flow-*``), which the engine runs through a prepare phase.
+ALL_RULES: tuple[Rule, ...] = SYNTACTIC_RULES + FLOW_RULES
 
 
 def rule_by_name(name: str) -> Rule:

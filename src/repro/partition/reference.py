@@ -42,6 +42,10 @@ class BruteForceMinCuts(PartitionStrategy):
     space = PlanSpace.bushy_cp_free()
     kernel = "enum.subsets"
 
+    # The O(2^n) oracle exists to cross-check the real strategies, not to
+    # be fast; it deliberately materializes the full cut set so the sort
+    # below gives a canonical emission order.
+    # lint: disable=flow-hotpath-alloc -- reference oracle, off the optimized path by design
     def partitions(
         self, graph: JoinGraph, subset: int, metrics: Metrics
     ) -> Iterator[tuple[int, int]]:

@@ -87,33 +87,49 @@ class ServiceStats:
             self.registry.merge(other)
 
     # -- views -------------------------------------------------------------------
+    #
+    # Read sides take the same lock as the mutators: counters are bumped
+    # from dispatch worker threads while the event loop renders /stats,
+    # and `hit_rate` reads three counters that must be mutually
+    # consistent.  `_lock` is a plain (non-reentrant) Lock, so the
+    # already-locked paths share `_hit_rate_locked`.
 
     @property
     def requests(self) -> int:
-        return self._requests.value
+        with self._lock:
+            return self._requests.value
 
     @property
     def hits(self) -> int:
-        return self._hits.value
+        with self._lock:
+            return self._hits.value
 
     @property
     def misses(self) -> int:
-        return self._misses.value
+        with self._lock:
+            return self._misses.value
 
     @property
     def dedup_saves(self) -> int:
-        return self._dedup.value
+        with self._lock:
+            return self._dedup.value
 
     @property
     def rejected(self) -> int:
-        return self._rejected.value
+        with self._lock:
+            return self._rejected.value
 
     @property
     def errors(self) -> int:
-        return self._errors.value
+        with self._lock:
+            return self._errors.value
 
     def hit_rate(self) -> float:
         """Cache hits over all optimize requests answered (hit/miss/dedup)."""
+        with self._lock:
+            return self._hit_rate_locked()
+
+    def _hit_rate_locked(self) -> float:
         answered = self._hits.value + self._misses.value + self._dedup.value
         return self._hits.value / answered if answered else 0.0
 
@@ -128,7 +144,7 @@ class ServiceStats:
                 "dedup_saves": self._dedup.value,
                 "rejected": self._rejected.value,
                 "errors": self._errors.value,
-                "hit_rate": self.hit_rate(),
+                "hit_rate": self._hit_rate_locked(),
                 "latency": latency.to_dict(),
                 "queue_depth": self._depth.to_dict(),
                 "batch_size": self._batch.to_dict(),

@@ -462,7 +462,8 @@ class TestEngine:
 
     def test_rule_registry_is_consistent(self):
         names = [rule.name for rule in ALL_RULES]
-        assert len(names) == len(set(names)) == 11
+        assert len(names) == len(set(names)) == 23
+        assert sum(1 for name in names if name.startswith("flow-")) == 12
         for name in names:
             assert rule_by_name(name).name == name
         with pytest.raises(KeyError):
